@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches.
+ *
+ * Every bench prints (a) the paper's rows/series, (b) a PAPER vs
+ * MEASURED comparison where the paper quotes numbers, and (c) a shape
+ * verdict line ("SHAPE OK" / "SHAPE MISMATCH") for the qualitative
+ * claims the figure makes.
+ */
+
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "core/senpai.hpp"
+#include "host/host.hpp"
+#include "stats/table.hpp"
+#include "stats/timeseries.hpp"
+#include "workload/app_profile.hpp"
+
+namespace tmo::bench
+{
+
+/**
+ * Footprint compression of the bench workloads relative to production
+ * (~60 GB hosts vs our ~1.2 GB). Stall *time* per fault is kept real
+ * (device latencies, page-group amplification), but the *rate* of
+ * faults at a given fractional offload depth scales down with
+ * footprint. PSI pressure = rate x latency, so the pressure threshold
+ * at which Senpai should settle scales down by the same factor, or
+ * the controller would dig proportionally ~50x deeper than
+ * production's 0.1% target allows.
+ */
+inline constexpr double FOOTPRINT_SCALE = 50.0;
+
+/**
+ * Threshold scale actually applied to Senpai's pressure targets. The
+ * full footprint ratio would put the target below the simulator's
+ * single-fault noise floor (one amplified fault in an avg60 window is
+ * already ~8e-5), so the scale is bounded by event granularity: the
+ * target stays a small multiple of the noise floor, preserving the
+ * production property that a handful of faults per minute is "mild"
+ * and sustained fault trains are not.
+ */
+inline constexpr double PRESSURE_SCALE = 5.0;
+
+/** Production Senpai config with thresholds scaled to bench size. */
+inline core::SenpaiConfig
+scaledProductionConfig()
+{
+    auto config = core::senpaiProductionConfig();
+    config.psiThreshold /= PRESSURE_SCALE;
+    config.ioPsiThreshold /= PRESSURE_SCALE;
+    // At bench scale a 6 s window holds only a handful of stall
+    // events; control on the smoothed average instead.
+    config.source = core::PressureSource::AVG60;
+    return config;
+}
+
+/**
+ * Aggressive config (B). Deliberately NOT scale-corrected: config B's
+ * defining property in §4.4 is that it tolerates pressure far beyond
+ * the mild target (its io-PSI runs sustained at several percent in
+ * Fig. 13d), so its thresholds stay at the raw aggressive values.
+ */
+inline core::SenpaiConfig
+scaledAggressiveConfig()
+{
+    auto config = core::senpaiAggressiveConfig();
+    config.source = core::PressureSource::AVG60;
+    return config;
+}
+
+/** Standard scaled host used by the workload benches. */
+inline host::HostConfig
+standardHost(char ssd_class = 'C', std::uint64_t ram = 2ull << 30,
+             std::uint64_t seed = 42)
+{
+    host::HostConfig config;
+    config.mem.ramBytes = ram;
+    config.mem.pageBytes = 64 * 1024;
+    config.cpus = 16;
+    config.ssdClass = ssd_class;
+    config.seed = seed;
+    return config;
+}
+
+/** Print a bench banner. */
+inline void
+banner(const std::string &figure, const std::string &title)
+{
+    std::cout << "==============================================\n"
+              << figure << ": " << title << "\n"
+              << "==============================================\n";
+}
+
+/** Track and report qualitative shape checks. */
+class ShapeChecker
+{
+  public:
+    /** Record one expectation; prints a line per check. */
+    void
+    expect(bool ok, const std::string &claim)
+    {
+        std::cout << (ok ? "  [ok]   " : "  [MISS] ") << claim << "\n";
+        failures_ += !ok;
+        ++total_;
+    }
+
+    /** Print the verdict; returns the process exit code. */
+    int
+    verdict() const
+    {
+        std::cout << (failures_ == 0 ? "SHAPE OK" : "SHAPE MISMATCH")
+                  << " (" << (total_ - failures_) << "/" << total_
+                  << " checks)\n";
+        return 0; // benches always exit 0; the verdict line carries it
+    }
+
+  private:
+    int failures_ = 0;
+    int total_ = 0;
+};
+
+/** Fraction of allocated memory saved (resident below allocation). */
+inline double
+savingsFraction(workload::AppModel &app)
+{
+    const double allocated =
+        static_cast<double>(app.allocatedBytes());
+    if (allocated <= 0.0)
+        return 0.0;
+    return 1.0 - static_cast<double>(app.cgroup().memCurrent()) /
+                     allocated;
+}
+
+} // namespace tmo::bench

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fig. 1 — Cost of memory, compressed memory, and SSDs as a percentage
+ * of compute infrastructure across hardware generations (§2.1).
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "costmodel/cost_model.hpp"
+#include "stats/table.hpp"
+
+using namespace tmo;
+
+int
+main()
+{
+    bench::banner("Fig. 1", "infrastructure cost trends, Gen 1-6");
+
+    const auto trend = costmodel::costTrend();
+    stats::Table table;
+    table.setHeader({"generation", "memory_%", "compressed_mem_%",
+                     "ssd_total_%", "ssd_iso_dram_%", "mem_power_%"});
+    for (const auto &gen : trend) {
+        table.addRow({gen.generation, stats::fmt(gen.memoryPct, 1),
+                      stats::fmt(gen.compressedPct, 1),
+                      stats::fmt(gen.ssdTotalPct, 1),
+                      stats::fmt(gen.ssdIsoDramPct, 2),
+                      stats::fmt(gen.memoryPowerPct, 1)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\npaper: DRAM grows to 33% of server cost / 38% of"
+                 " power; SSD iso-capacity < 1% (about 10x below"
+                 " compressed memory); server SSD < 3%\n";
+    bench::ShapeChecker shape;
+    shape.expect(trend.back().memoryPct == 33.0,
+                 "DRAM cost reaches 33% at Gen 6");
+    shape.expect(trend.back().memoryPowerPct == 38.0,
+                 "DRAM power reaches 38% at Gen 6");
+    bool iso_under_one = true, ssd_under_three = true,
+         monotonic = true;
+    for (std::size_t g = 0; g < trend.size(); ++g) {
+        iso_under_one = iso_under_one && trend[g].ssdIsoDramPct < 1.2;
+        ssd_under_three = ssd_under_three && trend[g].ssdTotalPct < 3.0;
+        if (g > 0)
+            monotonic =
+                monotonic && trend[g].memoryPct > trend[g - 1].memoryPct;
+    }
+    shape.expect(iso_under_one, "SSD iso-DRAM stays ~under 1%");
+    shape.expect(ssd_under_three, "server SSD stays under 3%");
+    shape.expect(monotonic, "DRAM share grows every generation");
+    shape.expect(trend[3].compressedPct / trend[3].ssdIsoDramPct == 10.0,
+                 "SSD ~10x cheaper per byte than compressed memory");
+    return shape.verdict();
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Microbenchmarks for PSI accounting (google-benchmark).
+ *
+ * §3.2.2: "The main cost of PSI is scheduling latency since some
+ * logic needs to be performed on a context switch... the overhead is
+ * negligible." These benches measure the cost of a task state change
+ * (the context-switch hook) and of the periodic averaging.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cgroup/cgroup.hpp"
+#include "psi/psi.hpp"
+
+using namespace tmo;
+
+namespace
+{
+
+void
+BM_PsiTaskChange(benchmark::State &state)
+{
+    psi::PsiGroup group;
+    sim::SimTime now = 0;
+    bool stalled = false;
+    for (auto _ : state) {
+        now += 1000;
+        if (stalled)
+            group.taskChange(psi::TSK_MEMSTALL, psi::TSK_ONCPU, now);
+        else
+            group.taskChange(psi::TSK_ONCPU, psi::TSK_MEMSTALL, now);
+        stalled = !stalled;
+    }
+    benchmark::DoNotOptimize(group.totalSome(psi::Resource::MEM, now));
+}
+BENCHMARK(BM_PsiTaskChange);
+
+void
+BM_PsiTaskChangeHierarchy(benchmark::State &state)
+{
+    // Transition propagated through an ancestor chain of the given
+    // depth (container nesting).
+    cgroup::CgroupTree tree;
+    cgroup::Cgroup *leaf = &tree.root();
+    for (int d = 0; d < state.range(0); ++d)
+        leaf = &tree.create("level" + std::to_string(d), leaf);
+    sim::SimTime now = 0;
+    bool stalled = false;
+    for (auto _ : state) {
+        now += 1000;
+        if (stalled)
+            leaf->psiTaskChange(psi::TSK_MEMSTALL, psi::TSK_ONCPU, now);
+        else
+            leaf->psiTaskChange(psi::TSK_ONCPU, psi::TSK_MEMSTALL, now);
+        stalled = !stalled;
+    }
+}
+BENCHMARK(BM_PsiTaskChangeHierarchy)->Arg(1)->Arg(3)->Arg(6);
+
+void
+BM_PsiUpdateAverages(benchmark::State &state)
+{
+    psi::PsiGroup group;
+    group.taskChange(0, psi::TSK_MEMSTALL, 0);
+    sim::SimTime now = 0;
+    for (auto _ : state) {
+        now += psi::PsiGroup::AVG_PERIOD;
+        group.updateAverages(now);
+    }
+}
+BENCHMARK(BM_PsiUpdateAverages);
+
+void
+BM_PsiReadout(benchmark::State &state)
+{
+    psi::PsiGroup group;
+    group.taskChange(0, psi::TSK_MEMSTALL, 0);
+    group.taskChange(psi::TSK_MEMSTALL, 0, 1000);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(group.some(psi::Resource::MEM));
+}
+BENCHMARK(BM_PsiReadout);
+
+} // namespace
+
+BENCHMARK_MAIN();

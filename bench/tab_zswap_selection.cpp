@@ -1,0 +1,132 @@
+/**
+ * @file
+ * §5.1 — zswap compressor and allocator selection study.
+ *
+ * Meta experimented with lzo/lz4/zstd and zbud/z3fold/zsmalloc and
+ * chose zstd + zsmalloc: best pool efficiency (= biggest savings) at
+ * acceptable fault latency. The bench stores/loads a page population
+ * through every combination and reports achieved pool ratio, DRAM
+ * saved, and mean fault latency.
+ */
+
+#include <iostream>
+
+#include "backend/zswap.hpp"
+#include "bench_common.hpp"
+#include "sim/rng.hpp"
+#include "stats/table.hpp"
+
+using namespace tmo;
+
+namespace
+{
+
+struct Result {
+    double savedFraction = 0.0; ///< DRAM freed per stored page
+    double faultUs = 0.0;       ///< mean load latency
+    double rejectRate = 0.0;
+};
+
+Result
+run(const std::string &compressor, const std::string &allocator)
+{
+    backend::ZswapConfig config;
+    config.compressor = backend::compressorPreset(compressor);
+    config.allocator = backend::allocatorPreset(allocator);
+    backend::ZswapPool pool(config, 7);
+    sim::Rng rng(11);
+
+    constexpr std::uint64_t PAGE = 64 * 1024;
+    constexpr int N = 20000;
+    std::vector<std::uint64_t> stored;
+    std::uint64_t accepted_bytes = 0;
+    int rejected = 0;
+    for (int i = 0; i < N; ++i) {
+        // Page population with a production-like compressibility mix
+        // (mean ~3x with incompressible outliers).
+        const double ratio = std::max(1.0, rng.normal(3.0, 1.2));
+        const auto result = pool.store(PAGE, ratio, 0);
+        if (!result.accepted) {
+            ++rejected;
+            continue;
+        }
+        stored.push_back(result.storedBytes);
+        accepted_bytes += PAGE;
+    }
+
+    double fault_us = 0.0;
+    for (const auto bytes : stored)
+        fault_us += sim::toUsec(pool.load(bytes, 0).latency);
+
+    Result r;
+    double pool_bytes = 0.0;
+    for (const auto bytes : stored)
+        pool_bytes += static_cast<double>(bytes);
+    r.savedFraction =
+        accepted_bytes
+            ? 1.0 - pool_bytes / static_cast<double>(accepted_bytes)
+            : 0.0;
+    r.faultUs = stored.empty()
+                    ? 0.0
+                    : fault_us / static_cast<double>(stored.size());
+    r.rejectRate = static_cast<double>(rejected) / N;
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table",
+                  "zswap compressor x allocator selection (§5.1)");
+
+    stats::Table table;
+    table.setHeader({"compressor", "allocator", "dram_saved_%",
+                     "fault_us_per_4k", "reject_%"});
+    double best_saved = 0.0;
+    std::string best;
+    double zstd_zsmalloc_saved = 0.0, lz4_saved = 0.0;
+    double zstd_fault = 0.0, lz4_fault = 0.0;
+    for (const auto *comp : {"lzo", "lz4", "zstd"}) {
+        for (const auto *alloc : {"zbud", "z3fold", "zsmalloc"}) {
+            const auto r = run(comp, alloc);
+            // Report fault latency per real 4 KiB page.
+            const double fault_per_4k = r.faultUs / 16.0;
+            table.addRow({comp, alloc,
+                          stats::fmtPercent(r.savedFraction, 1),
+                          stats::fmt(fault_per_4k, 1),
+                          stats::fmtPercent(r.rejectRate, 1)});
+            if (r.savedFraction > best_saved) {
+                best_saved = r.savedFraction;
+                best = std::string(comp) + "+" + alloc;
+            }
+            if (std::string(comp) == "zstd" &&
+                std::string(alloc) == "zsmalloc") {
+                zstd_zsmalloc_saved = r.savedFraction;
+                zstd_fault = fault_per_4k;
+            }
+            if (std::string(comp) == "lz4" &&
+                std::string(alloc) == "zsmalloc") {
+                lz4_saved = r.savedFraction;
+                lz4_fault = fault_per_4k;
+            }
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\npaper: zstd chosen for ratio at low overhead;"
+                 " zsmalloc for the most efficient pool (biggest"
+                 " savings); compressed reads ~40us p90\n";
+    bench::ShapeChecker shape;
+    shape.expect(best == "zstd+zsmalloc",
+                 "zstd + zsmalloc maximizes memory savings (chosen"
+                 " combination); winner: " + best);
+    shape.expect(zstd_zsmalloc_saved > lz4_saved,
+                 "zstd saves more than lz4 at equal allocator");
+    shape.expect(lz4_fault < zstd_fault,
+                 "lz4 is faster per fault (the trade-off)");
+    shape.expect(zstd_fault < 80.0,
+                 "zstd fault cost stays in the tens of microseconds");
+    return shape.verdict();
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Offload backend interface.
+ *
+ * A memory offload backend is the slow-memory tier that holds offloaded
+ * pages (§2.5): a compressed memory pool (zswap), an SSD swap partition,
+ * or — for file pages — the filesystem itself. The reclaim code only
+ * interacts with backends through this interface, so heterogeneous
+ * fleets mix backends freely.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace tmo::backend
+{
+
+/** Result of storing (offloading) one page. */
+struct StoreResult {
+    /** False when the backend refused the page (incompressible page on
+     *  zswap, full swap device); the page then stays resident. */
+    bool accepted = false;
+    /** Bytes the page consumes in the backend (compressed / slot size). */
+    std::uint64_t storedBytes = 0;
+    /** Time the store operation occupied (usually asynchronous to the
+     *  workload, but it consumes device bandwidth). */
+    sim::SimTime latency = 0;
+};
+
+/** Result of loading one page back on a fault. */
+struct LoadResult {
+    /** Stall time the faulting task observes. */
+    sim::SimTime latency = 0;
+    /** Whether the wait involved a block device (PSI IOWAIT). */
+    bool blockIo = false;
+};
+
+/**
+ * Abstract slow-memory tier holding offloaded pages.
+ *
+ * Implementations account their own occupancy; the caller tracks which
+ * page lives where and with how many storedBytes.
+ */
+class OffloadBackend
+{
+  public:
+    virtual ~OffloadBackend() = default;
+
+    /** Backend name for reports. */
+    virtual const std::string &name() const = 0;
+
+    /**
+     * Offload one page of @p page_bytes.
+     *
+     * @param page_bytes Uncompressed page size.
+     * @param compressibility Expected compression ratio of the page's
+     *        contents (>= 1; ignored by non-compressing backends).
+     * @param now Current time.
+     */
+    virtual StoreResult store(std::uint64_t page_bytes,
+                              double compressibility,
+                              sim::SimTime now) = 0;
+
+    /**
+     * Fault one page back in.
+     *
+     * @param stored_bytes The storedBytes returned by store().
+     * @param now Current time.
+     */
+    virtual LoadResult load(std::uint64_t stored_bytes,
+                            sim::SimTime now) = 0;
+
+    /** Release a stored page without loading it (page was freed). */
+    virtual void release(std::uint64_t stored_bytes) = 0;
+
+    /** Bytes currently stored (backend-internal representation). */
+    virtual std::uint64_t usedBytes() const = 0;
+
+    /**
+     * Bytes of DRAM this backend occupies (nonzero only for zswap,
+     * whose pool lives in RAM and must be charged against the host).
+     */
+    virtual std::uint64_t residentOverheadBytes() const { return 0; }
+
+    /** True when loads wait on a block device. */
+    virtual bool isBlockDevice() const = 0;
+
+    /**
+     * Fraction of the backend's capacity in use, in [0, 1]. Backends
+     * without a fixed capacity report 0.
+     */
+    virtual double utilization() const { return 0.0; }
+
+    /**
+     * True when stored pages continue to occupy host DRAM (zswap):
+     * the cgroup then stays charged for the compressed copy. Tiers on
+     * separate physical media (SSD, NVM, CXL-attached memory) return
+     * false.
+     */
+    virtual bool storesInHostDram() const { return false; }
+};
+
+} // namespace tmo::backend

@@ -1,0 +1,38 @@
+#include "backend/filesystem.hpp"
+
+namespace tmo::backend
+{
+
+FilesystemBackend::FilesystemBackend(SsdDevice &device)
+    : device_(device), name_("fs-" + device.spec().name)
+{}
+
+StoreResult
+FilesystemBackend::store(std::uint64_t page_bytes,
+                         double compressibility, sim::SimTime now)
+{
+    StoreResult result;
+    result.accepted = true;
+    result.storedBytes = page_bytes;
+    // compressibility < 0 flags a dirty page needing writeback.
+    if (compressibility < 0.0)
+        result.latency = device_.write(page_bytes, now);
+    return result;
+}
+
+LoadResult
+FilesystemBackend::load(std::uint64_t stored_bytes, sim::SimTime now)
+{
+    LoadResult result;
+    result.latency = device_.read(stored_bytes, now);
+    result.blockIo = true;
+    return result;
+}
+
+void
+FilesystemBackend::release(std::uint64_t /* stored_bytes */)
+{
+    // Nothing to free: the backing file persists.
+}
+
+} // namespace tmo::backend

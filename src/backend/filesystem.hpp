@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Filesystem "backend" for file-backed pages.
+ *
+ * Evicted file-cache pages are not written anywhere (clean pages are
+ * simply dropped; their backing copy is the file), so store() is free
+ * for clean pages and a device write for dirty ones. A later access
+ * reads the page back from the SSD — a refault when the page was part
+ * of the working set.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "backend/backend.hpp"
+#include "backend/ssd.hpp"
+
+namespace tmo::backend
+{
+
+/** File reads/writes against the shared SSD device. */
+class FilesystemBackend : public OffloadBackend
+{
+  public:
+    explicit FilesystemBackend(SsdDevice &device);
+
+    const std::string &name() const override { return name_; }
+
+    /**
+     * Dropping a clean file page is free; @p compressibility < 0 marks
+     * a dirty page that must be written back first.
+     */
+    StoreResult store(std::uint64_t page_bytes, double compressibility,
+                      sim::SimTime now) override;
+
+    LoadResult load(std::uint64_t stored_bytes,
+                    sim::SimTime now) override;
+
+    void release(std::uint64_t stored_bytes) override;
+
+    /** Files live on disk permanently; report read traffic instead. */
+    std::uint64_t usedBytes() const override { return 0; }
+
+    bool isBlockDevice() const override { return true; }
+
+    SsdDevice &device() { return device_; }
+
+  private:
+    SsdDevice &device_;
+    std::string name_;
+};
+
+} // namespace tmo::backend

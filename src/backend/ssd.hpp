@@ -1,0 +1,115 @@
+/**
+ * @file
+ * NVMe SSD device model.
+ *
+ * Models the heterogeneous SSD population of §2.5 / Fig. 5: per-device
+ * IOPS ceilings, lognormal access latency (median + p99), queueing
+ * delay when offered load approaches the IOPS ceiling, capacity, and
+ * write endurance (TBW) tracking.
+ *
+ * One SsdDevice instance is shared by everything on the host that does
+ * block IO — the swap partition and the filesystem — so paging traffic
+ * and file refaults contend for the same device, which is what makes
+ * IO pressure couple back into the workload (§4.4).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+#include "stats/ewma.hpp"
+#include "stats/histogram.hpp"
+
+namespace tmo::backend
+{
+
+/** Static characteristics of one SSD device class. */
+struct SsdSpec {
+    std::string name;
+    /** Median / p99 of a single 4 KiB read, microseconds. */
+    double readMedianUs = 90.0;
+    double readP99Us = 1000.0;
+    /** Median / p99 of a single 4 KiB write, microseconds. */
+    double writeMedianUs = 30.0;
+    double writeP99Us = 2000.0;
+    /** Sustainable 4 KiB operations per second. */
+    double readIops = 200e3;
+    double writeIops = 60e3;
+    /** Write endurance: total bytes writable over the device's life. */
+    double enduranceTbw = 1500.0; // terabytes
+    /** Usable capacity. */
+    std::uint64_t capacityBytes = 512ull << 30;
+};
+
+/**
+ * Fleet device classes A–G from Fig. 5 (A oldest, G newest). Latency
+ * improves by ~20x across generations (9.3 ms worst-case read p99 down
+ * to 470 us); IOPS are comparatively stable; endurance improves but
+ * stays limited. Fig. 12's "slow SSD" is class B and "fast SSD" is
+ * class C.
+ */
+SsdSpec ssdSpecForClass(char device_class);
+
+/**
+ * Queued SSD device instance. Reads and writes are serviced from
+ * separate (read-prioritized) capacity pools; latency observed by a
+ * request is queue delay + sampled device latency.
+ */
+class SsdDevice
+{
+  public:
+    SsdDevice(SsdSpec spec, std::uint64_t seed = 1);
+
+    const SsdSpec &spec() const { return spec_; }
+
+    /**
+     * Issue a synchronous read of @p bytes at @p now.
+     * @return Total latency (queue + device) the waiter observes.
+     */
+    sim::SimTime read(std::uint64_t bytes, sim::SimTime now);
+
+    /**
+     * Issue an asynchronous write of @p bytes (swap-out / writeback).
+     * @return Device-side completion latency (the issuer does not wait,
+     *         but the bandwidth is consumed and endurance is charged).
+     */
+    sim::SimTime write(std::uint64_t bytes, sim::SimTime now);
+
+    /** Total bytes written since construction (endurance accounting). */
+    std::uint64_t bytesWritten() const { return bytesWritten_; }
+
+    /** Fraction of rated endurance already consumed, in [0, inf). */
+    double enduranceUsed() const;
+
+    /** Read-latency distribution since the last resetStats(). */
+    const stats::Histogram &readLatency() const { return readLatency_; }
+
+    /** Smoothed device read rate, operations per second. */
+    double readOpsRate(sim::SimTime now) { return readRate_.rate(now); }
+
+    /** Smoothed device write rate, bytes per second. */
+    double writeByteRate(sim::SimTime now) { return writeRate_.rate(now); }
+
+    /** Clear latency histogram and rate meters (not endurance). */
+    void resetStats();
+
+  private:
+    /** Queue-aware service: returns latency and advances busy time. */
+    sim::SimTime service(std::uint64_t bytes, double iops,
+                         double median_us, double p99_us,
+                         sim::SimTime &busy_until, sim::SimTime now);
+
+    SsdSpec spec_;
+    sim::Rng rng_;
+    sim::SimTime readBusyUntil_ = 0;
+    sim::SimTime writeBusyUntil_ = 0;
+    std::uint64_t bytesWritten_ = 0;
+    stats::Histogram readLatency_{0.1, 1e7, 20}; // microseconds
+    stats::RateMeter readRate_;
+    stats::RateMeter writeRate_;
+};
+
+} // namespace tmo::backend

@@ -1,0 +1,53 @@
+#include "backend/swap_backend.hpp"
+
+namespace tmo::backend
+{
+
+SwapBackend::SwapBackend(SsdDevice &device, std::uint64_t capacity_bytes)
+    : device_(device),
+      name_("swap-" + device.spec().name),
+      capacityBytes_(capacity_bytes)
+{}
+
+StoreResult
+SwapBackend::store(std::uint64_t page_bytes, double /* compressibility */,
+                   sim::SimTime now)
+{
+    StoreResult result;
+    if (usedBytes_ + page_bytes > capacityBytes_) {
+        result.accepted = false; // swap exhausted
+        return result;
+    }
+    result.accepted = true;
+    result.storedBytes = page_bytes;
+    result.latency = device_.write(page_bytes, now);
+    usedBytes_ += page_bytes;
+    return result;
+}
+
+LoadResult
+SwapBackend::load(std::uint64_t stored_bytes, sim::SimTime now)
+{
+    release(stored_bytes);
+    LoadResult result;
+    result.latency = device_.read(stored_bytes, now);
+    result.blockIo = true;
+    return result;
+}
+
+void
+SwapBackend::release(std::uint64_t stored_bytes)
+{
+    usedBytes_ -= std::min(usedBytes_, stored_bytes);
+}
+
+double
+SwapBackend::utilization() const
+{
+    return capacityBytes_
+               ? static_cast<double>(usedBytes_) /
+                     static_cast<double>(capacityBytes_)
+               : 0.0;
+}
+
+} // namespace tmo::backend

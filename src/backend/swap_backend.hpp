@@ -1,0 +1,58 @@
+/**
+ * @file
+ * SSD-backed swap partition backend.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "backend/backend.hpp"
+#include "backend/ssd.hpp"
+
+namespace tmo::backend
+{
+
+/**
+ * Swap partition on an SsdDevice. Pages occupy a full page-sized slot;
+ * stores consume device write bandwidth and endurance, loads are
+ * synchronous block reads (MEMSTALL | IOWAIT on the faulting task).
+ */
+class SwapBackend : public OffloadBackend
+{
+  public:
+    /**
+     * @param device Underlying device (shared with the filesystem).
+     * @param capacity_bytes Size of the swap partition.
+     */
+    SwapBackend(SsdDevice &device, std::uint64_t capacity_bytes);
+
+    const std::string &name() const override { return name_; }
+
+    StoreResult store(std::uint64_t page_bytes, double compressibility,
+                      sim::SimTime now) override;
+
+    LoadResult load(std::uint64_t stored_bytes,
+                    sim::SimTime now) override;
+
+    void release(std::uint64_t stored_bytes) override;
+
+    std::uint64_t usedBytes() const override { return usedBytes_; }
+
+    bool isBlockDevice() const override { return true; }
+
+    /** Fraction of the partition in use. */
+    double utilization() const override;
+
+    /** The underlying device. */
+    SsdDevice &device() { return device_; }
+
+  private:
+    SsdDevice &device_;
+    std::string name_;
+    std::uint64_t capacityBytes_;
+    std::uint64_t usedBytes_ = 0;
+};
+
+} // namespace tmo::backend

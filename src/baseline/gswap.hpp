@@ -1,0 +1,79 @@
+/**
+ * @file
+ * g-swap baseline: static target promotion-rate control.
+ *
+ * Reimplements the control policy of Google's zswap deployment
+ * (Lagar-Cavilla et al., ASPLOS '19) as the paper describes it (§1,
+ * §4.3): offline application profiling produces a target page-
+ * promotion (swap-in) rate; at runtime the controller offloads cold
+ * memory as long as the observed promotion rate stays below the
+ * target, and backs off above it. The metric is device-agnostic by
+ * construction — the flaw §4.3 demonstrates.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "cgroup/cgroup.hpp"
+#include "mem/memory_manager.hpp"
+#include "sim/simulation.hpp"
+#include "stats/timeseries.hpp"
+
+namespace tmo::baseline
+{
+
+/** g-swap controller tuning. */
+struct GswapConfig {
+    /** Offline-profiled target promotion rate, swap-ins per second. */
+    double targetPromotionsPerSec = 20.0;
+    /** Control period. */
+    sim::SimTime interval = 6 * sim::SEC;
+    /** Reclaim step as a fraction of current memory per interval. */
+    double stepRatio = 0.002;
+};
+
+/**
+ * Promotion-rate-driven offload controller (one per container).
+ * Contrast with core::Senpai, which replaces the static rate target
+ * with realtime PSI feedback.
+ */
+class GswapController
+{
+  public:
+    GswapController(sim::Simulation &simulation,
+                    mem::MemoryManager &mm, cgroup::Cgroup &cg,
+                    GswapConfig config = {});
+
+    ~GswapController();
+
+    GswapController(const GswapController &) = delete;
+    GswapController &operator=(const GswapController &) = delete;
+
+    void start();
+    void stop();
+    bool running() const { return running_; }
+
+    const GswapConfig &config() const { return config_; }
+
+    /** Observed promotion rate at each tick (swap-ins/s). */
+    const stats::TimeSeries &promotionSeries() const
+    {
+        return promotions_;
+    }
+
+  private:
+    void tick();
+
+    sim::Simulation &sim_;
+    mem::MemoryManager &mm_;
+    cgroup::Cgroup *cg_;
+    GswapConfig config_;
+    bool running_ = false;
+    sim::EventId event_ = sim::INVALID_EVENT;
+    std::uint64_t lastSwapins_ = 0;
+    sim::SimTime lastTick_ = 0;
+    stats::TimeSeries promotions_{"gswap_promotion_rate"};
+};
+
+} // namespace tmo::baseline

@@ -1,0 +1,67 @@
+#include "core/oomd_lite.hpp"
+
+namespace tmo::core
+{
+
+OomdLite::OomdLite(sim::Simulation &simulation, OomdConfig config)
+    : sim_(simulation), config_(config)
+{}
+
+void
+OomdLite::watch(cgroup::Cgroup &cg, std::function<void()> kill_fn)
+{
+    watches_.push_back(Watch{&cg, std::move(kill_fn), sim_.now(),
+                             cg.psi().totalFull(psi::Resource::MEM,
+                                                sim_.now()),
+                             false});
+}
+
+void
+OomdLite::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    event_ = sim_.after(config_.pollInterval, [this] { poll(); });
+}
+
+void
+OomdLite::stop()
+{
+    if (!running_)
+        return;
+    running_ = false;
+    sim_.events().cancel(event_);
+    event_ = sim::INVALID_EVENT;
+}
+
+void
+OomdLite::poll()
+{
+    const sim::SimTime now = sim_.now();
+    for (auto &watch : watches_) {
+        const sim::SimTime total =
+            watch.cg->psi().totalFull(psi::Resource::MEM, now);
+        if (now - watch.windowStart >= config_.window) {
+            watch.windowStart = now;
+            watch.startTotal = total;
+            continue;
+        }
+        const sim::SimTime elapsed = now - watch.windowStart;
+        if (elapsed == 0 || watch.fired)
+            continue;
+        const double fraction =
+            static_cast<double>(total - watch.startTotal) /
+            static_cast<double>(config_.window);
+        if (fraction >= config_.fullThreshold) {
+            watch.fired = true;
+            ++kills_;
+            if (watch.killFn)
+                watch.killFn();
+        }
+    }
+    if (running_)
+        event_ = sim_.after(config_.pollInterval, [this] { poll(); });
+}
+
+} // namespace tmo::core

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Minimal userspace OOM killer driven by full-memory PSI (§3.2.4).
+ *
+ * "Long before the kernel's OOM killer triggers, applications can be
+ * functionally out of memory"; userspace watchers monitor the `full`
+ * metric and apply kill policies. This models the open-sourced oomd's
+ * core loop: if a container's full-memory stall within a sliding
+ * window exceeds a threshold, invoke its kill action.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cgroup/cgroup.hpp"
+#include "sim/simulation.hpp"
+
+namespace tmo::core
+{
+
+/** oomd tuning. */
+struct OomdConfig {
+    /** full-memory stall fraction that triggers a kill. */
+    double fullThreshold = 0.20;
+    /** Sliding window length. */
+    sim::SimTime window = 10 * sim::SEC;
+    /** Poll cadence. */
+    sim::SimTime pollInterval = 2 * sim::SEC;
+};
+
+/** PSI-driven userspace OOM watcher. */
+class OomdLite
+{
+  public:
+    OomdLite(sim::Simulation &simulation, OomdConfig config = {});
+
+    OomdLite(const OomdLite &) = delete;
+    OomdLite &operator=(const OomdLite &) = delete;
+
+    /**
+     * Watch a container; @p kill_fn runs when the policy trips (at
+     * most once per container until re-armed by the caller).
+     */
+    void watch(cgroup::Cgroup &cg, std::function<void()> kill_fn);
+
+    /** Begin polling. */
+    void start();
+
+    /** Stop polling. */
+    void stop();
+
+    /** Number of kill actions taken. */
+    std::uint64_t kills() const { return kills_; }
+
+  private:
+    struct Watch {
+        cgroup::Cgroup *cg;
+        std::function<void()> killFn;
+        sim::SimTime windowStart = 0;
+        sim::SimTime startTotal = 0;
+        bool fired = false;
+    };
+
+    void poll();
+
+    sim::Simulation &sim_;
+    OomdConfig config_;
+    std::vector<Watch> watches_;
+    bool running_ = false;
+    sim::EventId event_ = sim::INVALID_EVENT;
+    std::uint64_t kills_ = 0;
+};
+
+} // namespace tmo::core

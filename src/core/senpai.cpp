@@ -1,0 +1,146 @@
+#include "core/senpai.hpp"
+
+#include <algorithm>
+
+namespace tmo::core
+{
+
+SenpaiConfig
+senpaiProductionConfig()
+{
+    return SenpaiConfig{};
+}
+
+SenpaiConfig
+senpaiAggressiveConfig()
+{
+    SenpaiConfig config;
+    // Config "B" (§4.4): a much larger step and 10x pressure
+    // tolerance. Saves more memory, risks RPS via file-cache refaults.
+    config.reclaimRatio = 0.005;
+    config.psiThreshold = 0.01;
+    config.ioPsiThreshold = 0.05;
+    return config;
+}
+
+Senpai::Senpai(sim::Simulation &simulation, mem::MemoryManager &mm,
+               cgroup::Cgroup &cg, SenpaiConfig config)
+    : sim_(simulation), mm_(mm), cg_(&cg), config_(config),
+      regulator_(config.writeBudgetBytesPerSec)
+{}
+
+Senpai::~Senpai()
+{
+    stop();
+}
+
+void
+Senpai::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    lastTick_ = sim_.now();
+    lastMemSome_ = cg_->psi().totalSome(psi::Resource::MEM, sim_.now());
+    lastIoSome_ = cg_->psi().totalSome(psi::Resource::IO, sim_.now());
+    event_ = sim_.after(config_.interval, [this] { tick(); });
+}
+
+void
+Senpai::stop()
+{
+    if (!running_)
+        return;
+    running_ = false;
+    sim_.events().cancel(event_);
+    event_ = sim::INVALID_EVENT;
+}
+
+void
+Senpai::tick()
+{
+    const sim::SimTime now = sim_.now();
+    const sim::SimTime window = now - lastTick_;
+    lastTick_ = now;
+
+    // Pressure reading per the configured source: the interval delta
+    // of the PSI totals (microsecond resolution, §3.2.4) or a running
+    // average.
+    const sim::SimTime mem_some =
+        cg_->psi().totalSome(psi::Resource::MEM, now);
+    const sim::SimTime io_some =
+        cg_->psi().totalSome(psi::Resource::IO, now);
+    double mem_pressure = 0.0, io_pressure = 0.0;
+    switch (config_.source) {
+      case PressureSource::INTERVAL:
+        if (window) {
+            mem_pressure =
+                static_cast<double>(mem_some - lastMemSome_) /
+                static_cast<double>(window);
+            io_pressure =
+                static_cast<double>(io_some - lastIoSome_) /
+                static_cast<double>(window);
+        }
+        break;
+      case PressureSource::AVG10:
+        mem_pressure = cg_->psi().some(psi::Resource::MEM).avg10;
+        io_pressure = cg_->psi().some(psi::Resource::IO).avg10;
+        break;
+      case PressureSource::AVG60:
+        mem_pressure = cg_->psi().some(psi::Resource::MEM).avg60;
+        io_pressure = cg_->psi().some(psi::Resource::IO).avg60;
+        break;
+    }
+    lastMemSome_ = mem_some;
+    lastIoSome_ = io_some;
+
+    pressure_.record(now, mem_pressure);
+
+    const auto current = static_cast<double>(cg_->memCurrent());
+
+    // reclaim_mem = current * ratio * max(0, 1 - PSI / threshold)
+    double reclaim =
+        current * config_.reclaimRatio *
+        std::max(0.0, 1.0 - mem_pressure / config_.psiThreshold);
+
+    // Memory PSI alone can miss workloads hurt indirectly through the
+    // storage device (§3.3): back off under IO pressure.
+    if (io_pressure > config_.ioPsiThreshold)
+        reclaim = 0.0;
+
+    // SSD endurance regulation (§4.5). The budget is re-read every
+    // tick so regulation can be deployed to a running controller.
+    regulator_.setBudget(config_.writeBudgetBytesPerSec);
+    if (regulator_.enabled()) {
+        const double written_total =
+            mm_.memcgOf(*cg_).swapoutBytes.total();
+        reclaim = regulator_.modulate(
+            reclaim, written_total - lastSwapoutTotal_, window);
+        lastSwapoutTotal_ = written_total;
+    } else {
+        lastSwapoutTotal_ = mm_.memcgOf(*cg_).swapoutBytes.total();
+    }
+
+    // Swap exhaustion: past the high watermark anon can no longer be
+    // offloaded; keep probing file cache only by halving the step.
+    auto &mcg = mm_.memcgOf(*cg_);
+    if (mcg.anonBackend &&
+        mcg.anonBackend->utilization() > config_.swapHighWatermark) {
+        reclaim *= 0.5;
+    }
+
+    // Step cap: at most maxProbeRatio of the workload per interval.
+    reclaim = std::min(reclaim, current * config_.maxProbeRatio);
+
+    const auto bytes = static_cast<std::uint64_t>(reclaim);
+    reclaimed_.record(now, static_cast<double>(bytes));
+    if (bytes >= mm_.pageBytes()) {
+        totalRequested_ += bytes;
+        cg_->memoryReclaim(bytes, now);
+    }
+
+    if (running_)
+        event_ = sim_.after(config_.interval, [this] { tick(); });
+}
+
+} // namespace tmo::core

@@ -1,0 +1,56 @@
+#include "core/tmo_daemon.hpp"
+
+namespace tmo::core
+{
+
+TmoDaemon::TmoDaemon(sim::Simulation &simulation,
+                     mem::MemoryManager &mm, SenpaiConfig base)
+    : sim_(simulation), mm_(mm), base_(base)
+{}
+
+SenpaiConfig
+TmoDaemon::configFor(const cgroup::Cgroup &cg) const
+{
+    SenpaiConfig config = base_;
+    switch (cg.priority()) {
+      case cgroup::Priority::LOW:
+        // Tax and batch containers tolerate more pressure (§2.3:
+        // "the performance SLA for most of the memory tax is more
+        // relaxed"), so probe harder.
+        config.psiThreshold *= 2.0;
+        config.ioPsiThreshold *= 2.0;
+        config.reclaimRatio *= 4.0;
+        break;
+      case cgroup::Priority::NORMAL:
+        break;
+      case cgroup::Priority::HIGH:
+        config.psiThreshold *= 0.5;
+        config.reclaimRatio *= 0.5;
+        break;
+    }
+    return config;
+}
+
+Senpai &
+TmoDaemon::manage(cgroup::Cgroup &cg)
+{
+    senpais_.push_back(
+        std::make_unique<Senpai>(sim_, mm_, cg, configFor(cg)));
+    return *senpais_.back();
+}
+
+void
+TmoDaemon::startAll()
+{
+    for (auto &s : senpais_)
+        s->start();
+}
+
+void
+TmoDaemon::stopAll()
+{
+    for (auto &s : senpais_)
+        s->stop();
+}
+
+} // namespace tmo::core

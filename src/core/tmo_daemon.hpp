@@ -1,0 +1,72 @@
+/**
+ * @file
+ * TMO daemon: fleet-style orchestration of Senpai across containers.
+ *
+ * TMO offloads memory holistically: application containers AND the
+ * sidecar containers providing datacenter/microservice functions
+ * (§2.3). Containers carry priorities; the daemon derives a per-
+ * container Senpai configuration from a base config — relaxed for
+ * low-priority tax containers (more savings), milder for high-priority
+ * latency-sensitive services.
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cgroup/cgroup.hpp"
+#include "core/senpai.hpp"
+#include "mem/memory_manager.hpp"
+#include "sim/simulation.hpp"
+
+namespace tmo::core
+{
+
+/** Manages one Senpai instance per controlled container. */
+class TmoDaemon
+{
+  public:
+    /**
+     * @param simulation Event loop.
+     * @param mm Host memory manager.
+     * @param base Base Senpai configuration (priority-scaled per
+     *        container).
+     */
+    TmoDaemon(sim::Simulation &simulation, mem::MemoryManager &mm,
+              SenpaiConfig base = senpaiProductionConfig());
+
+    TmoDaemon(const TmoDaemon &) = delete;
+    TmoDaemon &operator=(const TmoDaemon &) = delete;
+
+    /**
+     * Put a container under management. The effective config scales
+     * with the container's priority:
+     *  - LOW (tax/batch): 2x pressure tolerance, 4x step;
+     *  - NORMAL: base config;
+     *  - HIGH: half threshold, half step.
+     */
+    Senpai &manage(cgroup::Cgroup &cg);
+
+    /** Start every managed Senpai. */
+    void startAll();
+
+    /** Stop every managed Senpai. */
+    void stopAll();
+
+    const std::vector<std::unique_ptr<Senpai>> &senpais() const
+    {
+        return senpais_;
+    }
+
+    /** Derive the priority-scaled config for a container. */
+    SenpaiConfig configFor(const cgroup::Cgroup &cg) const;
+
+  private:
+    sim::Simulation &sim_;
+    mem::MemoryManager &mm_;
+    SenpaiConfig base_;
+    std::vector<std::unique_ptr<Senpai>> senpais_;
+};
+
+} // namespace tmo::core

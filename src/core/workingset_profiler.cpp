@@ -1,0 +1,81 @@
+#include "core/workingset_profiler.hpp"
+
+#include <algorithm>
+
+#include "psi/psi.hpp"
+
+namespace tmo::core
+{
+
+WorkingsetProfiler::WorkingsetProfiler(sim::Simulation &simulation,
+                                       cgroup::Cgroup &cg,
+                                       double pressure_threshold,
+                                       sim::SimTime sample_interval,
+                                       double safety_margin)
+    : sim_(simulation), cg_(&cg), threshold_(pressure_threshold),
+      interval_(sample_interval), margin_(safety_margin)
+{}
+
+void
+WorkingsetProfiler::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    lastSample_ = sim_.now();
+    lastSome_ = cg_->psi().totalSome(psi::Resource::MEM, sim_.now());
+    event_ = sim_.after(interval_, [this] { sample(); });
+}
+
+void
+WorkingsetProfiler::stop()
+{
+    if (!running_)
+        return;
+    running_ = false;
+    sim_.events().cancel(event_);
+    event_ = sim::INVALID_EVENT;
+}
+
+void
+WorkingsetProfiler::sample()
+{
+    const auto now = sim_.now();
+    const auto some = cg_->psi().totalSome(psi::Resource::MEM, now);
+    const auto window = now - lastSample_;
+    const double pressure =
+        window ? static_cast<double>(some - lastSome_) /
+                     static_cast<double>(window)
+               : 0.0;
+    lastSome_ = some;
+    lastSample_ = now;
+
+    resident_.record(now, static_cast<double>(cg_->memCurrent()));
+    pressure_.record(now, pressure);
+
+    if (running_)
+        event_ = sim_.after(interval_, [this] { sample(); });
+}
+
+WorkingsetEstimate
+WorkingsetProfiler::estimate() const
+{
+    WorkingsetEstimate estimate;
+    estimate.samples = resident_.size();
+    double min_healthy = 0.0;
+    for (std::size_t i = 0; i < resident_.size(); ++i) {
+        const double bytes = resident_.samples()[i].value;
+        estimate.peakBytes = std::max(
+            estimate.peakBytes, static_cast<std::uint64_t>(bytes));
+        if (pressure_.samples()[i].value <= threshold_) {
+            if (min_healthy == 0.0 || bytes < min_healthy)
+                min_healthy = bytes;
+        }
+    }
+    estimate.minHealthyBytes = static_cast<std::uint64_t>(min_healthy);
+    estimate.recommendedBytes = static_cast<std::uint64_t>(
+        min_healthy * (1.0 + margin_));
+    return estimate;
+}
+
+} // namespace tmo::core

@@ -1,0 +1,33 @@
+#include "costmodel/cost_model.hpp"
+
+namespace tmo::costmodel
+{
+
+std::vector<GenerationCost>
+costTrend(CostModelParams params)
+{
+    // DRAM cost share per generation (Gen-1 near end-of-life through
+    // the upcoming Gen-6 at 33%), and the matching power trajectory
+    // reaching 38%.
+    const double dram_pct[6] = {15.0, 18.0, 22.0, 26.0, 30.0, 33.0};
+    const double power_pct[6] = {20.0, 24.0, 28.0, 32.0, 35.0, 38.0};
+    // The provisioned SSD's share of server cost stays under 3%.
+    const double ssd_total_pct[6] = {2.9, 2.8, 2.8, 2.7, 2.6, 2.5};
+
+    std::vector<GenerationCost> trend;
+    for (int g = 0; g < 6; ++g) {
+        GenerationCost cost;
+        cost.generation = "Gen " + std::to_string(g + 1);
+        cost.memoryPct = dram_pct[g];
+        // Iso-capacity via compression: 1/ratio of the DRAM cost.
+        cost.compressedPct = dram_pct[g] / params.compressionRatio;
+        cost.ssdTotalPct = ssd_total_pct[g];
+        // Iso-capacity on SSD: another ~10x below compressed memory.
+        cost.ssdIsoDramPct = cost.compressedPct / params.ssdVsCompressed;
+        cost.memoryPowerPct = power_pct[g];
+        trend.push_back(cost);
+    }
+    return trend;
+}
+
+} // namespace tmo::costmodel

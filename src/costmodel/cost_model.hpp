@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Infrastructure cost model (Fig. 1, §2.1).
+ *
+ * Computes DRAM, compressed-memory, and SSD cost as a percentage of
+ * compute-infrastructure cost across hardware generations. Compressed
+ * memory is estimated iso-capacity to DRAM at a 3x compression ratio
+ * (the production average); SSD iso-capacity cost uses the ~10x
+ * cost-per-byte advantage over compressed memory the paper reports.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tmo::costmodel
+{
+
+/** Cost breakdown for one hardware generation, as % of server cost. */
+struct GenerationCost {
+    std::string generation;
+    /** DRAM as % of infrastructure cost. */
+    double memoryPct = 0.0;
+    /** Delivering DRAM-equivalent capacity via 3x-compressed memory. */
+    double compressedPct = 0.0;
+    /** The server's NVMe SSD as % of cost. */
+    double ssdTotalPct = 0.0;
+    /** SSD capacity iso-capacity to DRAM as % of cost. */
+    double ssdIsoDramPct = 0.0;
+    /** DRAM power as % of infra power (trend mirrors cost). */
+    double memoryPowerPct = 0.0;
+};
+
+/** Model parameters. */
+struct CostModelParams {
+    /** Average compression ratio (production average 3x). */
+    double compressionRatio = 3.0;
+    /** Cost-per-byte advantage of SSD over compressed memory. */
+    double ssdVsCompressed = 10.0;
+};
+
+/**
+ * Cost trajectory for generations 1..6 (§2.1: DRAM grows towards 33%
+ * of server cost and 38% of power; SSD iso-capacity stays under 1%;
+ * the full server SSD under 3%).
+ */
+std::vector<GenerationCost> costTrend(CostModelParams params = {});
+
+} // namespace tmo::costmodel

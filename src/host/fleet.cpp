@@ -1,0 +1,33 @@
+#include "host/fleet.hpp"
+
+namespace tmo::host
+{
+
+Host &
+Fleet::addHost(HostConfig config, const std::string &name_prefix)
+{
+    config.seed = config.seed * 0x2545f4914f6cdd1dull +
+                  (hosts_.size() + 1) * 0x9e3779b97f4a7c15ull;
+    hosts_.push_back(std::make_unique<Host>(
+        sim_, config, name_prefix + std::to_string(hosts_.size())));
+    return *hosts_.back();
+}
+
+void
+Fleet::start()
+{
+    for (auto &h : hosts_)
+        h->start();
+}
+
+std::vector<double>
+Fleet::collect(const std::function<double(Host &)> &metric)
+{
+    std::vector<double> values;
+    values.reserve(hosts_.size());
+    for (auto &h : hosts_)
+        values.push_back(metric(*h));
+    return values;
+}
+
+} // namespace tmo::host

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A fleet of simulated hosts.
+ *
+ * Fleet-wide results in the paper (Figs. 9, 10, 14) are distributions
+ * over many servers. The Fleet owns N hosts on one shared simulation
+ * clock and provides cross-host percentile helpers.
+ */
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "host/host.hpp"
+#include "sim/simulation.hpp"
+
+namespace tmo::host
+{
+
+/** N hosts sharing one simulated clock. */
+class Fleet
+{
+  public:
+    explicit Fleet(sim::Simulation &simulation)
+        : sim_(simulation)
+    {}
+
+    Fleet(const Fleet &) = delete;
+    Fleet &operator=(const Fleet &) = delete;
+
+    /**
+     * Add a host. @p config.seed is combined with the host index so
+     * hosts differ deterministically.
+     */
+    Host &addHost(HostConfig config, const std::string &name_prefix);
+
+    /** Start services on every host. */
+    void start();
+
+    std::size_t size() const { return hosts_.size(); }
+    Host &host(std::size_t i) { return *hosts_[i]; }
+
+    /**
+     * Evaluate @p metric on every host and return the values
+     * (for exactQuantile-style cluster percentiles).
+     */
+    std::vector<double> collect(
+        const std::function<double(Host &)> &metric);
+
+    sim::Simulation &simulation() { return sim_; }
+
+  private:
+    sim::Simulation &sim_;
+    std::vector<std::unique_ptr<Host>> hosts_;
+};
+
+} // namespace tmo::host

@@ -1,0 +1,101 @@
+#include "host/host.hpp"
+
+namespace tmo::host
+{
+
+namespace
+{
+
+/** Sync the zswap pool's fault-amplification with the page size. */
+backend::ZswapConfig
+zswapConfigFor(const HostConfig &config)
+{
+    backend::ZswapConfig zconfig = config.zswap;
+    zconfig.simulatedPageBytes = config.mem.pageBytes;
+    return zconfig;
+}
+
+} // namespace
+
+Host::Host(sim::Simulation &simulation, HostConfig config,
+           std::string name)
+    : sim_(simulation), config_(config), name_(std::move(name)),
+      ssd_(backend::ssdSpecForClass(config.ssdClass), config.seed ^ 0x55),
+      swap_(ssd_, config.swapBytes ? config.swapBytes
+                                   : config.mem.ramBytes),
+      fs_(ssd_),
+      zswap_(zswapConfigFor(config), config.seed ^ 0xaa),
+      nvm_([&] {
+          auto spec = backend::nvmSpecPreset(config.nvmPreset);
+          spec.simulatedPageBytes = config.mem.pageBytes;
+          return spec;
+      }(), config.seed ^ 0x77),
+      cpu_(config.cpus, config.appTick),
+      mm_(config.mem, config.seed ^ 0x33)
+{}
+
+void
+Host::start()
+{
+    if (started_)
+        return;
+    started_ = true;
+    // PSI averaging every 2 s (kernel cadence) and kswapd every 1 s.
+    sim_.every(psi::PsiGroup::AVG_PERIOD, [this] {
+        tree_.psiUpdateAverages(sim_.now());
+        return true;
+    });
+    sim_.every(sim::SEC, [this] {
+        mm_.kswapd(sim_.now());
+        return true;
+    });
+}
+
+cgroup::Cgroup &
+Host::createContainer(const std::string &name, cgroup::Cgroup *parent)
+{
+    return tree_.create(name, parent);
+}
+
+backend::OffloadBackend *
+Host::backendFor(AnonMode mode)
+{
+    switch (mode) {
+      case AnonMode::NONE:
+        return nullptr;
+      case AnonMode::SWAP_SSD:
+        return &swap_;
+      case AnonMode::ZSWAP:
+      case AnonMode::TIERED:
+        return &zswap_;
+      case AnonMode::NVM:
+        return &nvm_;
+    }
+    return nullptr;
+}
+
+workload::AppModel &
+Host::addApp(const workload::AppProfile &profile, AnonMode mode,
+             cgroup::Cgroup *parent)
+{
+    cgroup::Cgroup &cg = createContainer(profile.name, parent);
+    mm_.attach(cg, backendFor(mode), &fs_, profile.compressibility);
+    if (mode == AnonMode::TIERED)
+        mm_.setAnonTiering(cg, &zswap_, &swap_);
+    apps_.push_back(std::make_unique<workload::AppModel>(
+        sim_, mm_, cg, profile, config_.cpus,
+        config_.seed ^ (apps_.size() + 1) * 0x9e37u, config_.appTick,
+        &cpu_));
+    return *apps_.back();
+}
+
+void
+Host::setAnonMode(cgroup::Cgroup &cg, AnonMode mode)
+{
+    if (mode == AnonMode::TIERED)
+        mm_.setAnonTiering(cg, &zswap_, &swap_);
+    else
+        mm_.setAnonBackend(cg, backendFor(mode));
+}
+
+} // namespace tmo::host

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * A simulated server.
+ *
+ * A Host assembles the substrate: DRAM + memory manager, one NVMe SSD
+ * shared by the filesystem and the swap partition, a zswap pool, a
+ * cgroup tree with machine-wide PSI, and the workloads running in
+ * containers. Periodic host services (PSI averaging, kswapd) are
+ * scheduled on the shared simulation.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/filesystem.hpp"
+#include "backend/nvm.hpp"
+#include "backend/ssd.hpp"
+#include "backend/swap_backend.hpp"
+#include "backend/zswap.hpp"
+#include "cgroup/cgroup.hpp"
+#include "mem/memory_manager.hpp"
+#include "sched/cpu_coordinator.hpp"
+#include "sim/simulation.hpp"
+#include "workload/app_model.hpp"
+#include "workload/app_profile.hpp"
+
+namespace tmo::host
+{
+
+/** Which offload backend a container's anon pages use. */
+enum class AnonMode {
+    /** No swapping: file-cache-only reclaim (TMO's first deployment
+     *  mode, §5.1). */
+    NONE,
+    /** SSD swap partition. */
+    SWAP_SSD,
+    /** Compressed memory pool. */
+    ZSWAP,
+    /** Byte-addressable NVM / CXL memory (§2.5 outlook). */
+    NVM,
+    /** Two-tier hierarchy: zswap for warm pages, SSD swap for cold or
+     *  incompressible ones (§5.2 future work). */
+    TIERED,
+};
+
+/** Host hardware/software configuration. */
+struct HostConfig {
+    mem::MemoryConfig mem;
+    unsigned cpus = 16;
+    /** SSD device class A-G (Fig. 5). */
+    char ssdClass = 'C';
+    /** NVM device preset ("optane" or "cxl-dram"). */
+    std::string nvmPreset = "optane";
+    /** Swap partition size (0: size it like RAM). */
+    std::uint64_t swapBytes = 0;
+    backend::ZswapConfig zswap;
+    std::uint64_t seed = 42;
+    /** Workload tick length. */
+    sim::SimTime appTick = sim::SEC;
+};
+
+/** One simulated server. */
+class Host
+{
+  public:
+    Host(sim::Simulation &simulation, HostConfig config,
+         std::string name = "host");
+
+    Host(const Host &) = delete;
+    Host &operator=(const Host &) = delete;
+
+    /** Begin periodic host services (PSI averaging, kswapd). */
+    void start();
+
+    /** Create a container under @p parent (default: root). */
+    cgroup::Cgroup &createContainer(const std::string &name,
+                                    cgroup::Cgroup *parent = nullptr);
+
+    /**
+     * Create a container running the given workload.
+     *
+     * @param profile Workload description.
+     * @param mode Anon offload backend selection.
+     * @param parent Parent container.
+     */
+    workload::AppModel &addApp(const workload::AppProfile &profile,
+                               AnonMode mode,
+                               cgroup::Cgroup *parent = nullptr);
+
+    /** Switch a container's anon backend (Fig. 11 phase changes). */
+    void setAnonMode(cgroup::Cgroup &cg, AnonMode mode);
+
+    // --- components -----------------------------------------------------
+
+    sim::Simulation &simulation() { return sim_; }
+    cgroup::CgroupTree &cgroups() { return tree_; }
+    mem::MemoryManager &memory() { return mm_; }
+    backend::SsdDevice &ssd() { return ssd_; }
+    backend::ZswapPool &zswap() { return zswap_; }
+    backend::NvmBackend &nvm() { return nvm_; }
+    sched::CpuCoordinator &cpuCoordinator() { return cpu_; }
+    backend::SwapBackend &swap() { return swap_; }
+    backend::FilesystemBackend &filesystem() { return fs_; }
+    const std::string &name() const { return name_; }
+    const HostConfig &config() const { return config_; }
+    const std::vector<std::unique_ptr<workload::AppModel>> &apps() const
+    {
+        return apps_;
+    }
+
+  private:
+    backend::OffloadBackend *backendFor(AnonMode mode);
+
+    sim::Simulation &sim_;
+    HostConfig config_;
+    std::string name_;
+    cgroup::CgroupTree tree_;
+    backend::SsdDevice ssd_;
+    backend::SwapBackend swap_;
+    backend::FilesystemBackend fs_;
+    backend::ZswapPool zswap_;
+    backend::NvmBackend nvm_;
+    sched::CpuCoordinator cpu_;
+    mem::MemoryManager mm_;
+    std::vector<std::unique_ptr<workload::AppModel>> apps_;
+    bool started_ = false;
+};
+
+} // namespace tmo::host

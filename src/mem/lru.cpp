@@ -1,0 +1,88 @@
+#include "mem/lru.hpp"
+
+#include <cassert>
+
+namespace tmo::mem
+{
+
+void
+LruList::addHead(std::vector<Page> &pages, PageIdx idx)
+{
+    Page &page = pages[idx];
+    assert(page.prev == NO_PAGE && page.next == NO_PAGE);
+    page.next = head_;
+    page.prev = NO_PAGE;
+    if (head_ != NO_PAGE)
+        pages[head_].prev = idx;
+    head_ = idx;
+    if (tail_ == NO_PAGE)
+        tail_ = idx;
+    ++size_;
+}
+
+void
+LruList::addTail(std::vector<Page> &pages, PageIdx idx)
+{
+    Page &page = pages[idx];
+    assert(page.prev == NO_PAGE && page.next == NO_PAGE);
+    page.prev = tail_;
+    page.next = NO_PAGE;
+    if (tail_ != NO_PAGE)
+        pages[tail_].next = idx;
+    tail_ = idx;
+    if (head_ == NO_PAGE)
+        head_ = idx;
+    ++size_;
+}
+
+void
+LruList::remove(std::vector<Page> &pages, PageIdx idx)
+{
+    Page &page = pages[idx];
+    if (page.prev != NO_PAGE)
+        pages[page.prev].next = page.next;
+    else {
+        assert(head_ == idx);
+        head_ = page.next;
+    }
+    if (page.next != NO_PAGE)
+        pages[page.next].prev = page.prev;
+    else {
+        assert(tail_ == idx);
+        tail_ = page.prev;
+    }
+    page.prev = NO_PAGE;
+    page.next = NO_PAGE;
+    assert(size_ > 0);
+    --size_;
+}
+
+void
+LruList::moveToHead(std::vector<Page> &pages, PageIdx idx)
+{
+    if (head_ == idx)
+        return;
+    remove(pages, idx);
+    addHead(pages, idx);
+}
+
+void
+LruVec::detach(std::vector<Page> &pages, PageIdx idx)
+{
+    Page &page = pages[idx];
+    if (page.lru == LruKind::NONE)
+        return;
+    list(page.lru).remove(pages, idx);
+    page.lru = LruKind::NONE;
+}
+
+void
+LruVec::attachHead(std::vector<Page> &pages, PageIdx idx, LruKind kind)
+{
+    Page &page = pages[idx];
+    assert(page.lru == LruKind::NONE && "page already on a list");
+    list(kind).addHead(pages, idx);
+    page.lru = kind;
+}
+
+} // namespace tmo::mem

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Intrusive LRU lists over the host page array.
+ *
+ * The kernel maintains an active/inactive list pair for both anon and
+ * file pages per cgroup (§3.4); reclaim scans the inactive tails and
+ * colder pages are evicted first. Lists are intrusive (prev/next
+ * indices inside Page) so membership changes are O(1) with no
+ * allocation.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "mem/page.hpp"
+
+namespace tmo::mem
+{
+
+/** One doubly-linked page list. Head = most recent, tail = coldest. */
+class LruList
+{
+  public:
+    LruList() = default;
+
+    /** Insert @p idx at the head (most-recently-used end). */
+    void addHead(std::vector<Page> &pages, PageIdx idx);
+
+    /** Insert @p idx at the tail (coldest end). */
+    void addTail(std::vector<Page> &pages, PageIdx idx);
+
+    /** Unlink @p idx from the list. */
+    void remove(std::vector<Page> &pages, PageIdx idx);
+
+    /** Move an already-linked page to the head. */
+    void moveToHead(std::vector<Page> &pages, PageIdx idx);
+
+    PageIdx head() const { return head_; }
+    PageIdx tail() const { return tail_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+  private:
+    PageIdx head_ = NO_PAGE;
+    PageIdx tail_ = NO_PAGE;
+    std::size_t size_ = 0;
+};
+
+/** The four per-cgroup LRU lists plus size helpers. */
+class LruVec
+{
+  public:
+    LruList &list(LruKind kind)
+    {
+        return lists_[static_cast<std::size_t>(kind)];
+    }
+
+    const LruList &list(LruKind kind) const
+    {
+        return lists_[static_cast<std::size_t>(kind)];
+    }
+
+    /** Resident anon pages (both lists). */
+    std::size_t
+    anonPages() const
+    {
+        return list(LruKind::INACTIVE_ANON).size() +
+               list(LruKind::ACTIVE_ANON).size();
+    }
+
+    /** Resident file pages (both lists). */
+    std::size_t
+    filePages() const
+    {
+        return list(LruKind::INACTIVE_FILE).size() +
+               list(LruKind::ACTIVE_FILE).size();
+    }
+
+    /** All resident pages. */
+    std::size_t totalPages() const { return anonPages() + filePages(); }
+
+    /**
+     * Detach a page from whatever list it is on (no-op when not
+     * linked) and clear its lru tag.
+     */
+    void detach(std::vector<Page> &pages, PageIdx idx);
+
+    /** Attach a page to the head of @p kind and tag it. */
+    void attachHead(std::vector<Page> &pages, PageIdx idx, LruKind kind);
+
+  private:
+    std::array<LruList, NUM_LRU_LISTS> lists_;
+};
+
+} // namespace tmo::mem

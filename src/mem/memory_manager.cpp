@@ -1,0 +1,523 @@
+#include "mem/memory_manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace tmo::mem
+{
+
+MemoryManager::MemoryManager(MemoryConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed)
+{
+    assert(config_.pageBytes > 0);
+    assert(config_.ramBytes >= config_.pageBytes);
+}
+
+MemCg &
+MemoryManager::attach(cgroup::Cgroup &cg,
+                      backend::OffloadBackend *anon_backend,
+                      backend::OffloadBackend *file_backend,
+                      double compressibility)
+{
+    if (memcgs_.size() >= 0xffff)
+        throw std::length_error("too many memory cgroups");
+    for (const auto &existing : memcgs_)
+        if (existing->cg == &cg)
+            throw std::invalid_argument("cgroup already attached: " +
+                                        cg.name());
+    auto mcg = std::make_unique<MemCg>();
+    mcg->cg = &cg;
+    mcg->anonBackend = anon_backend;
+    mcg->fileBackend = file_backend;
+    mcg->compressibility = compressibility;
+    registerBackend(anon_backend);
+    registerBackend(file_backend);
+    memcgs_.push_back(std::move(mcg));
+    MemCg &ref = *memcgs_.back();
+
+    // Wire the memory.reclaim control file to the reclaimer.
+    cg.setReclaimFn([this](cgroup::Cgroup &target, std::uint64_t bytes,
+                           sim::SimTime now) {
+        return reclaim(target, bytes, now).reclaimedBytes;
+    });
+    return ref;
+}
+
+void
+MemoryManager::setAnonBackend(cgroup::Cgroup &cg,
+                              backend::OffloadBackend *anon_backend)
+{
+    MemCg &mcg = memcgOf(cg);
+    mcg.anonBackend = anon_backend;
+    mcg.anonColdBackend = nullptr;
+    registerBackend(anon_backend);
+}
+
+void
+MemoryManager::setAnonTiering(cgroup::Cgroup &cg,
+                              backend::OffloadBackend *anon_backend,
+                              backend::OffloadBackend *cold_backend)
+{
+    MemCg &mcg = memcgOf(cg);
+    mcg.anonBackend = anon_backend;
+    mcg.anonColdBackend = cold_backend;
+    registerBackend(anon_backend);
+    registerBackend(cold_backend);
+}
+
+std::uint8_t
+MemoryManager::registerBackend(backend::OffloadBackend *be)
+{
+    if (!be)
+        return 0xff;
+    const auto it = std::find(backends_.begin(), backends_.end(), be);
+    if (it != backends_.end())
+        return static_cast<std::uint8_t>(it - backends_.begin());
+    if (backends_.size() >= 0xff)
+        throw std::length_error("too many offload backends");
+    backends_.push_back(be);
+    return static_cast<std::uint8_t>(backends_.size() - 1);
+}
+
+MemCg &
+MemoryManager::memcgOf(const cgroup::Cgroup &cg)
+{
+    for (auto &mcg : memcgs_)
+        if (mcg->cg == &cg)
+            return *mcg;
+    throw std::invalid_argument("cgroup not attached: " + cg.name());
+}
+
+const MemCg &
+MemoryManager::memcgOf(const cgroup::Cgroup &cg) const
+{
+    for (const auto &mcg : memcgs_)
+        if (mcg->cg == &cg)
+            return *mcg;
+    throw std::invalid_argument("cgroup not attached: " + cg.name());
+}
+
+std::uint64_t
+MemoryManager::ramUsed() const
+{
+    std::uint64_t used = residentPages_ * config_.pageBytes;
+    for (const auto *be : backends_)
+        used += be->residentOverheadBytes();
+    return used;
+}
+
+void
+MemoryManager::makeResident(Page &page, PageIdx idx, MemCg &mcg,
+                            LruKind kind)
+{
+    page.where = Where::RAM;
+    page.storedBytes = 0;
+    page.store = 0xff;
+    mcg.lru.attachHead(pages_, idx, kind);
+    mcg.cg->charge(config_.pageBytes);
+    ++residentPages_;
+}
+
+sim::SimTime
+MemoryManager::enforceLimit(cgroup::Cgroup &cg, std::uint64_t bytes,
+                            sim::SimTime now)
+{
+    sim::SimTime stall = 0;
+    // Walk up looking for a limited ancestor without headroom and
+    // reclaim inside that subtree, as the kernel does on charge.
+    for (int round = 0; round < 8; ++round) {
+        if (cg.headroom() >= bytes)
+            break;
+        cgroup::Cgroup *limited = &cg;
+        while (limited && limited->memMax() == cgroup::NO_LIMIT)
+            limited = limited->parent();
+        if (!limited)
+            break;
+        const auto outcome =
+            reclaim(*limited, std::max<std::uint64_t>(
+                                  bytes, 8 * config_.pageBytes),
+                    now);
+        stall += outcome.cpuTime;
+        if (outcome.reclaimedBytes == 0) {
+            ++oomEvents_;
+            break;
+        }
+    }
+    return stall;
+}
+
+sim::SimTime
+MemoryManager::ensureRoom(std::uint64_t bytes, sim::SimTime now)
+{
+    sim::SimTime stall = 0;
+    for (int round = 0; round < 16 && freeBytes() < bytes; ++round) {
+        // Global direct reclaim: shrink the biggest consumer. Cgroups
+        // within their memory.low protection are skipped while any
+        // unprotected memory exists (second pass ignores protection,
+        // as the kernel does under real shortage).
+        MemCg *victim = nullptr;
+        for (const bool honour_low : {true, false}) {
+            for (auto &mcg : memcgs_) {
+                if (mcg->lru.totalPages() == 0)
+                    continue;
+                if (honour_low && mcg->cg->lowProtected())
+                    continue;
+                if (!victim ||
+                    mcg->lru.totalPages() > victim->lru.totalPages())
+                    victim = mcg.get();
+            }
+            if (victim)
+                break;
+        }
+        if (!victim) {
+            ++oomEvents_;
+            break;
+        }
+        const std::uint64_t want = std::max<std::uint64_t>(
+            bytes, 16 * config_.pageBytes);
+        const auto outcome = shrinkMemCg(*victim, want, now);
+        stall += outcome.cpuTime;
+        if (outcome.reclaimedBytes == 0) {
+            ++oomEvents_;
+            break;
+        }
+    }
+    return stall;
+}
+
+PageIdx
+MemoryManager::newPage(cgroup::Cgroup &cg, bool anon, bool resident,
+                       sim::SimTime now, AccessResult *result)
+{
+    MemCg &mcg = memcgOf(cg);
+    if (anon && !resident)
+        throw std::invalid_argument("anon pages are created resident");
+    if (!anon && !mcg.fileBackend)
+        throw std::invalid_argument("file pages need a file backend");
+
+    PageIdx idx;
+    if (!freeSlots_.empty()) {
+        idx = freeSlots_.back();
+        freeSlots_.pop_back();
+        pages_[idx] = Page{};
+    } else {
+        if (pages_.size() >= NO_PAGE)
+            throw std::length_error("page table full");
+        idx = static_cast<PageIdx>(pages_.size());
+        pages_.emplace_back();
+    }
+    Page &page = pages_[idx];
+    page.memcg = static_cast<std::uint16_t>(
+        std::find_if(memcgs_.begin(), memcgs_.end(),
+                     [&](const auto &m) { return m.get() == &mcg; }) -
+        memcgs_.begin());
+    page.flags = anon ? PG_ANON : 0;
+    page.lastAccess = now;
+
+    if (!resident) {
+        page.where = Where::FS;
+        return idx;
+    }
+
+    AccessResult local;
+    local.memStall += enforceLimit(cg, config_.pageBytes, now);
+    local.memStall += ensureRoom(config_.pageBytes, now);
+    // New pages start on the inactive list and earn activation by
+    // reference, like the post-5.x kernel.
+    makeResident(page, idx, mcg,
+                 anon ? LruKind::INACTIVE_ANON : LruKind::INACTIVE_FILE);
+    if (result)
+        *result = local;
+    return idx;
+}
+
+AccessResult
+MemoryManager::access(PageIdx idx, sim::SimTime now)
+{
+    AccessResult result;
+    Page &page = pages_[idx];
+    MemCg &mcg = *memcgs_[page.memcg];
+    page.lastAccess = now;
+
+    if (page.where == Where::RAM) {
+        // Hit: second-chance / activation bookkeeping.
+        if (page.lru == LruKind::INACTIVE_ANON ||
+            page.lru == LruKind::INACTIVE_FILE) {
+            if (page.referenced()) {
+                // Second touch while inactive: promote.
+                const LruKind active = page.isAnon()
+                                           ? LruKind::ACTIVE_ANON
+                                           : LruKind::ACTIVE_FILE;
+                mcg.lru.detach(pages_, idx);
+                mcg.lru.attachHead(pages_, idx, active);
+                page.flags &= ~PG_REFERENCED;
+                ++mcg.cg->stats().pgactivate;
+            } else {
+                page.flags |= PG_REFERENCED;
+            }
+        } else {
+            page.flags |= PG_REFERENCED;
+        }
+        return result;
+    }
+
+    // --- fault path ---------------------------------------------------
+    result.faulted = true;
+
+    backend::LoadResult load;
+    LruKind target = LruKind::INACTIVE_FILE;
+
+    switch (page.where) {
+      case Where::ZSWAP:
+      case Where::SWAP: {
+        assert(page.store < backends_.size() &&
+               "offloaded anon page without backend");
+        backend::OffloadBackend *be = backends_[page.store];
+        load = be->load(page.storedBytes, now);
+        if (page.where == Where::ZSWAP) {
+            mcg.zswapBytes -= std::min<std::uint64_t>(mcg.zswapBytes,
+                                                      page.storedBytes);
+            // Compressed copy freed: uncharge its DRAM share.
+            mcg.cg->uncharge(page.storedBytes);
+            ++mcg.cg->stats().zswpin;
+        } else {
+            mcg.swapBytes -= std::min<std::uint64_t>(mcg.swapBytes,
+                                                     page.storedBytes);
+        }
+        ++mcg.cg->stats().pswpin;
+        mcg.swapinRate.add(1.0, now);
+        // Swap-in IO is the anon side of the reclaim cost balance
+        // (kernel lru_note_cost), mirroring refaults on the file side.
+        decayCosts(mcg, now);
+        mcg.anonCost += 1.0;
+        // Swap-in waits are memory stalls; disk swap also blocks on IO.
+        result.memStall += load.latency;
+        if (load.blockIo)
+            result.ioStall += load.latency;
+        // Anon workingset detection (kernel >= 5.9): only refaults
+        // within the reuse distance re-activate; colder swap-ins go
+        // inactive so they do not pollute the active list. The
+        // working-set flag doubles as the warmth signal for tiered
+        // placement (§5.2).
+        if (page.shadowAge != 0 &&
+            mcg.nonresidentAgeAnon - page.shadowAge <=
+                mcg.lru.totalPages()) {
+            result.refault = true;
+            ++mcg.cg->stats().wsRefaultAnon;
+            page.flags |= PG_WORKINGSET;
+            target = LruKind::ACTIVE_ANON;
+        } else {
+            target = LruKind::INACTIVE_ANON;
+        }
+        break;
+      }
+      case Where::FS: {
+        assert(!page.isAnon());
+        load = mcg.fileBackend->load(config_.pageBytes, now);
+        ++mcg.cg->stats().pgfilefault;
+        result.ioStall += load.latency;
+        // Refault detection via shadow entry (§3.4).
+        if (page.shadowAge != 0) {
+            const std::uint64_t distance =
+                mcg.nonresidentAge - page.shadowAge;
+            const std::uint64_t workingset = mcg.lru.totalPages();
+            if (distance <= workingset) {
+                result.refault = true;
+                ++mcg.cg->stats().wsRefault;
+                ++mcg.cg->stats().wsActivate;
+                mcg.refaultRate.add(1.0, now);
+                decayCosts(mcg, now);
+                mcg.fileCost += 1.0;
+                // Waiting for recently evicted cache is lost work due
+                // to lack of memory, not merely IO.
+                result.memStall += load.latency;
+                page.flags |= PG_WORKINGSET;
+                target = LruKind::ACTIVE_FILE;
+            } else {
+                target = LruKind::INACTIVE_FILE;
+            }
+        } else {
+            // First-ever read: plain IO wait, inactive list.
+            target = LruKind::INACTIVE_FILE;
+        }
+        break;
+      }
+      case Where::RAM:
+        break; // unreachable
+    }
+
+    result.memStall += enforceLimit(*mcg.cg, config_.pageBytes, now);
+    result.memStall += ensureRoom(config_.pageBytes, now);
+    makeResident(page, idx, mcg, target);
+    return result;
+}
+
+void
+MemoryManager::freePage(PageIdx idx)
+{
+    Page &page = pages_[idx];
+    MemCg &mcg = *memcgs_[page.memcg];
+    switch (page.where) {
+      case Where::RAM:
+        mcg.lru.detach(pages_, idx);
+        mcg.cg->uncharge(config_.pageBytes);
+        assert(residentPages_ > 0);
+        --residentPages_;
+        break;
+      case Where::ZSWAP:
+        if (page.store < backends_.size())
+            backends_[page.store]->release(page.storedBytes);
+        mcg.zswapBytes -= std::min<std::uint64_t>(mcg.zswapBytes,
+                                                  page.storedBytes);
+        mcg.cg->uncharge(page.storedBytes);
+        break;
+      case Where::SWAP:
+        if (page.store < backends_.size())
+            backends_[page.store]->release(page.storedBytes);
+        mcg.swapBytes -= std::min<std::uint64_t>(mcg.swapBytes,
+                                                 page.storedBytes);
+        break;
+      case Where::FS:
+        break;
+    }
+    page.where = Where::FS;
+    page.storedBytes = 0;
+    page.store = 0xff;
+    page.flags &= ~(PG_REFERENCED | PG_WORKINGSET | PG_DIRTY);
+    page.memcg = 0xffff; // detached from any cgroup until reused
+    freeSlots_.push_back(idx);
+}
+
+ReclaimOutcome
+MemoryManager::reclaim(cgroup::Cgroup &cg, std::uint64_t bytes,
+                       sim::SimTime now)
+{
+    // Reclaim from the subtree: this cgroup if attached, plus any
+    // attached descendants, proportional to their size.
+    ReclaimOutcome total;
+    std::vector<MemCg *> targets;
+    std::uint64_t resident = 0;
+    for (auto &mcg : memcgs_) {
+        for (const cgroup::Cgroup *node = mcg->cg; node;
+             node = node->parent()) {
+            if (node == &cg) {
+                // Descendants inside their memory.low protection are
+                // skipped; the explicitly targeted cgroup itself is
+                // not (memory.reclaim semantics).
+                if (mcg->lru.totalPages() > 0 &&
+                    (mcg->cg == &cg || !mcg->cg->lowProtected())) {
+                    targets.push_back(mcg.get());
+                    resident += mcg->lru.totalPages();
+                }
+                break;
+            }
+        }
+    }
+    if (targets.empty() || resident == 0)
+        return total;
+
+    for (MemCg *mcg : targets) {
+        const double share = static_cast<double>(mcg->lru.totalPages()) /
+                             static_cast<double>(resident);
+        const auto want = static_cast<std::uint64_t>(
+            share * static_cast<double>(bytes));
+        if (want < config_.pageBytes)
+            continue;
+        const auto outcome = shrinkMemCg(*mcg, want, now);
+        total.reclaimedBytes += outcome.reclaimedBytes;
+        total.scannedPages += outcome.scannedPages;
+        total.anonPages += outcome.anonPages;
+        total.filePages += outcome.filePages;
+        total.cpuTime += outcome.cpuTime;
+    }
+    return total;
+}
+
+void
+MemoryManager::kswapd(sim::SimTime now)
+{
+    const auto watermark = static_cast<std::uint64_t>(
+        config_.kswapdWatermark * static_cast<double>(config_.ramBytes));
+    if (freeBytes() >= watermark)
+        return;
+    ensureRoom(2 * watermark, now);
+}
+
+CgMemInfo
+MemoryManager::info(const cgroup::Cgroup &cg) const
+{
+    CgMemInfo info;
+    for (const auto &mcg : memcgs_) {
+        bool in_subtree = false;
+        for (const cgroup::Cgroup *node = mcg->cg; node;
+             node = node->parent()) {
+            if (node == &cg) {
+                in_subtree = true;
+                break;
+            }
+        }
+        if (!in_subtree)
+            continue;
+        info.anonBytes += mcg->lru.anonPages() * config_.pageBytes;
+        info.fileBytes += mcg->lru.filePages() * config_.pageBytes;
+        info.zswapBytes += mcg->zswapBytes;
+        info.swapBytes += mcg->swapBytes;
+    }
+    info.residentBytes = info.anonBytes + info.fileBytes;
+    return info;
+}
+
+IdleBreakdown
+MemoryManager::idleBreakdown(const cgroup::Cgroup &cg,
+                             sim::SimTime now) const
+{
+    const MemCg &mcg = memcgOf(cg);
+    const auto mcg_index = static_cast<std::uint16_t>(
+        std::find_if(memcgs_.begin(), memcgs_.end(),
+                     [&](const auto &m) { return m.get() == &mcg; }) -
+        memcgs_.begin());
+
+    std::uint64_t total = 0;
+    std::uint64_t used1 = 0, used2 = 0, used5 = 0;
+    for (const Page &page : pages_) {
+        if (page.memcg != mcg_index || page.memcg == 0xffff)
+            continue;
+        // Count the full allocated footprint, resident or offloaded.
+        ++total;
+        const sim::SimTime age =
+            now >= page.lastAccess ? now - page.lastAccess : 0;
+        if (age <= 1 * sim::MINUTE)
+            ++used1;
+        else if (age <= 2 * sim::MINUTE)
+            ++used2;
+        else if (age <= 5 * sim::MINUTE)
+            ++used5;
+    }
+    IdleBreakdown breakdown;
+    if (total == 0)
+        return breakdown;
+    const auto t = static_cast<double>(total);
+    breakdown.used1min = static_cast<double>(used1) / t;
+    breakdown.used2min = static_cast<double>(used2) / t;
+    breakdown.used5min = static_cast<double>(used5) / t;
+    breakdown.cold = 1.0 - breakdown.used1min - breakdown.used2min -
+                     breakdown.used5min;
+    return breakdown;
+}
+
+void
+MemoryManager::decayCosts(MemCg &mcg, sim::SimTime now)
+{
+    if (now <= mcg.lastCostDecay) {
+        mcg.lastCostDecay = now;
+        return;
+    }
+    const double dt = sim::toSeconds(now - mcg.lastCostDecay);
+    const double factor = std::exp2(-dt / config_.costHalfLifeSec);
+    mcg.anonCost *= factor;
+    mcg.fileCost *= factor;
+    mcg.lastCostDecay = now;
+}
+
+} // namespace tmo::mem

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Host memory management: allocation, fault handling, and reclaim.
+ *
+ * This is the simulator's stand-in for the Linux MM subsystem the
+ * paper modifies (§3.4): per-cgroup active/inactive LRU lists,
+ * non-resident (shadow entry) tracking with refault detection, and a
+ * reclaim algorithm that — in TMO mode — reclaims exclusively from
+ * file cache until refaults occur and then balances file reclaim
+ * against anonymous swap by relative IO cost. A legacy mode reproduces
+ * the historic swap-as-emergency-overflow behaviour for ablation.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "backend/backend.hpp"
+#include "cgroup/cgroup.hpp"
+#include "mem/lru.hpp"
+#include "mem/page.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+#include "stats/ewma.hpp"
+
+namespace tmo::mem
+{
+
+/** Reclaim algorithm selection. */
+enum class ReclaimMode {
+    /**
+     * TMO (§3.4): file-only until refaults appear, then balance file
+     * vs. anon scanning by relative refault / swap-in cost.
+     */
+    TMO_BALANCED,
+    /**
+     * Pre-TMO kernel behaviour: skew heavily towards file cache and
+     * touch swap only when file cache is nearly exhausted.
+     */
+    LEGACY_FILE_FIRST,
+};
+
+/** Static memory-manager configuration. */
+struct MemoryConfig {
+    /** Host DRAM capacity. */
+    std::uint64_t ramBytes = 4ull << 30;
+    /** Page size (coarser than 4 KiB to keep page counts tractable;
+     *  all reported quantities are bytes/ratios, so this is benign). */
+    std::uint32_t pageBytes = 64 * 1024;
+    /** Reclaim algorithm (TMO vs. legacy). */
+    ReclaimMode mode = ReclaimMode::TMO_BALANCED;
+    /** kswapd keeps free memory above this fraction of capacity. */
+    double kswapdWatermark = 0.02;
+    /** CPU time per scanned page charged to direct reclaim. */
+    double reclaimUsPerPage = 0.3;
+    /** Pages scanned per reclaim batch. */
+    std::uint32_t scanBatch = 32;
+    /** Demote when inactive < active * inactiveRatio. */
+    double inactiveRatio = 0.5;
+    /** Half life of the anon/file cost balance (seconds). */
+    double costHalfLifeSec = 120.0;
+    /**
+     * LRU mis-aging: probability, per evicted page, that a page from
+     * the active tail is demoted straight to the inactive tail. Models
+     * the sampling-based LRU ordering the paper describes (§5.3: "we
+     * rely on sampling in software to maintain the LRU ordering...
+     * the overhead scales with the targeted paging rate") — working-
+     * set evictions grow with reclaim volume, which is what makes
+     * over-aggressive configurations hurt (Fig. 13).
+     */
+    double lruMisagingRate = 0.10;
+};
+
+/** Outcome of one page access. */
+struct AccessResult {
+    /** Page was not resident and had to be brought in. */
+    bool faulted = false;
+    /** The fault was a refault of recently evicted working set. */
+    bool refault = false;
+    /** Stall time counting towards memory pressure. */
+    sim::SimTime memStall = 0;
+    /** Stall time counting towards IO pressure. */
+    sim::SimTime ioStall = 0;
+};
+
+/** Result of a reclaim pass. */
+struct ReclaimOutcome {
+    std::uint64_t reclaimedBytes = 0;
+    std::uint64_t scannedPages = 0;
+    std::uint64_t anonPages = 0;
+    std::uint64_t filePages = 0;
+    /** CPU time consumed (charged as memstall on direct reclaim). */
+    sim::SimTime cpuTime = 0;
+};
+
+/** Per-cgroup memory breakdown for reports. */
+struct CgMemInfo {
+    std::uint64_t anonBytes = 0;
+    std::uint64_t fileBytes = 0;
+    std::uint64_t zswapBytes = 0;  ///< DRAM held by compressed pages
+    std::uint64_t swapBytes = 0;   ///< SSD swap slots in use
+    std::uint64_t residentBytes = 0;
+};
+
+/** Fraction of a cgroup's pages by idle age (Fig. 2). */
+struct IdleBreakdown {
+    double used1min = 0.0;
+    double used2min = 0.0; ///< additional fraction (1, 2] min
+    double used5min = 0.0; ///< additional fraction (2, 5] min
+    double cold = 0.0;     ///< untouched for > 5 min (incl. offloaded)
+};
+
+/**
+ * Per-cgroup memory state (the kernel's mem_cgroup + lruvec).
+ * Exposed for tests and the reclaim implementation.
+ */
+struct MemCg {
+    cgroup::Cgroup *cg = nullptr;
+    LruVec lru;
+    /** Offload backend for anon pages (zswap pool or swap partition);
+     *  nullptr = file-only mode (no swapping). */
+    backend::OffloadBackend *anonBackend = nullptr;
+    /**
+     * Optional cold tier (§5.2 hierarchy): when set, pages without
+     * working-set history are placed here directly, and stores the
+     * primary backend rejects (incompressible data, pool cap) fall
+     * through to it.
+     */
+    backend::OffloadBackend *anonColdBackend = nullptr;
+    /** Filesystem backend for file pages. */
+    backend::OffloadBackend *fileBackend = nullptr;
+    /** Mean compression ratio of this workload's anon data. */
+    double compressibility = 3.0;
+
+    /** Non-resident age: bumped on every file eviction (shadow entries). */
+    std::uint64_t nonresidentAge = 0;
+    /** Anon-side non-resident age (workingset detection for anonymous
+     *  pages, as in kernels >= 5.9). */
+    std::uint64_t nonresidentAgeAnon = 0;
+
+    /** Decaying reclaim-cost balance (kernel lru_note_cost). */
+    double anonCost = 0.0;
+    double fileCost = 0.0;
+    sim::SimTime lastCostDecay = 0;
+
+    /** Smoothed swap-in (promotion) rate, pages/s. */
+    stats::RateMeter swapinRate;
+    /** Smoothed file refault rate, pages/s. */
+    stats::RateMeter refaultRate;
+    /** Smoothed swap-out rate, bytes/s (write-endurance view). */
+    stats::RateMeter swapoutBytes;
+
+    std::uint64_t zswapBytes = 0;
+    std::uint64_t swapBytes = 0;
+    /** Pages the backend refused (incompressible / swap full). */
+    std::uint64_t storeRejects = 0;
+};
+
+/**
+ * The host memory manager.
+ *
+ * Thread model: single-threaded, driven by the simulation loop.
+ * All byte amounts are multiples of pageBytes internally.
+ */
+class MemoryManager
+{
+  public:
+    MemoryManager(MemoryConfig config, std::uint64_t seed = 3);
+
+    MemoryManager(const MemoryManager &) = delete;
+    MemoryManager &operator=(const MemoryManager &) = delete;
+
+    // --- setup ---------------------------------------------------------
+
+    /**
+     * Put a cgroup under memory management and install its
+     * memory.reclaim hook.
+     *
+     * @param cg The container.
+     * @param anon_backend Backend for anon pages (nullptr: file-only).
+     * @param file_backend Backend for file pages (required to create
+     *        file pages).
+     * @param compressibility Mean anon compression ratio.
+     */
+    MemCg &attach(cgroup::Cgroup &cg,
+                  backend::OffloadBackend *anon_backend,
+                  backend::OffloadBackend *file_backend,
+                  double compressibility = 3.0);
+
+    /** Switch a cgroup's anon backend (e.g. Fig. 11 phase changes).
+     *  Pages already offloaded stay in their old backend until
+     *  faulted back. */
+    void setAnonBackend(cgroup::Cgroup &cg,
+                        backend::OffloadBackend *anon_backend);
+
+    /**
+     * Configure a two-tier anon hierarchy (§5.2): warm/compressible
+     * pages go to @p anon_backend, cold or rejected pages to
+     * @p cold_backend.
+     */
+    void setAnonTiering(cgroup::Cgroup &cg,
+                        backend::OffloadBackend *anon_backend,
+                        backend::OffloadBackend *cold_backend);
+
+    // --- page lifecycle -------------------------------------------------
+
+    /**
+     * Create one page owned by @p cg.
+     *
+     * Anonymous pages are created resident (allocation is the first
+     * touch) and may trigger direct reclaim when memory is tight; the
+     * stall is reported through @p result. File pages can be created
+     * non-resident (@p resident = false), modelling files not yet read.
+     */
+    PageIdx newPage(cgroup::Cgroup &cg, bool anon, bool resident,
+                    sim::SimTime now, AccessResult *result = nullptr);
+
+    /**
+     * Touch a page: LRU bookkeeping on hit, full fault path on miss
+     * (backend read, refault detection, residency charge).
+     */
+    AccessResult access(PageIdx idx, sim::SimTime now);
+
+    /** Release a page entirely (workload freed the memory). */
+    void freePage(PageIdx idx);
+
+    // --- reclaim ---------------------------------------------------------
+
+    /**
+     * Reclaim up to @p bytes from @p cg's subtree. This implements the
+     * memory.reclaim control file; Senpai's proactive reclaim enters
+     * here and does NOT stall the workload (the cost shows up later as
+     * refaults, exactly as in production).
+     */
+    ReclaimOutcome reclaim(cgroup::Cgroup &cg, std::uint64_t bytes,
+                           sim::SimTime now);
+
+    /**
+     * Background reclaim: if free memory is below the watermark, shrink
+     * the largest cgroups until it recovers. Call periodically.
+     */
+    void kswapd(sim::SimTime now);
+
+    // --- accounting & introspection --------------------------------------
+
+    std::uint64_t ramCapacity() const { return config_.ramBytes; }
+
+    /** Resident pages plus compressed-pool DRAM across backends. */
+    std::uint64_t ramUsed() const;
+
+    std::uint64_t
+    freeBytes() const
+    {
+        const std::uint64_t used = ramUsed();
+        return used >= config_.ramBytes ? 0 : config_.ramBytes - used;
+    }
+
+    std::uint32_t pageBytes() const { return config_.pageBytes; }
+    const MemoryConfig &config() const { return config_; }
+
+    /** Per-cgroup byte breakdown. */
+    CgMemInfo info(const cgroup::Cgroup &cg) const;
+
+    /** Idle-age breakdown of a cgroup's pages (Fig. 2). */
+    IdleBreakdown idleBreakdown(const cgroup::Cgroup &cg,
+                                sim::SimTime now) const;
+
+    /** Number of emergency situations where reclaim found nothing. */
+    std::uint64_t oomEvents() const { return oomEvents_; }
+
+    /** The page table (tests and benches). */
+    std::vector<Page> &pages() { return pages_; }
+
+    /** Per-cgroup state; cg must be attached. */
+    MemCg &memcgOf(const cgroup::Cgroup &cg);
+    const MemCg &memcgOf(const cgroup::Cgroup &cg) const;
+
+  private:
+    friend struct ReclaimPass;
+
+    /** Direct-reclaim path: make room for @p bytes of new residency. */
+    sim::SimTime ensureRoom(std::uint64_t bytes, sim::SimTime now);
+
+    /** Enforce @p cg's memory.max on a new charge of @p bytes. */
+    sim::SimTime enforceLimit(cgroup::Cgroup &cg, std::uint64_t bytes,
+                              sim::SimTime now);
+
+    /** Make a page resident and charge it. */
+    void makeResident(Page &page, PageIdx idx, MemCg &mcg, LruKind kind);
+
+    /** Core shrink loop, shared by all reclaim entry points. */
+    ReclaimOutcome shrinkMemCg(MemCg &mcg, std::uint64_t target_bytes,
+                               sim::SimTime now);
+
+    /** Decay the anon/file cost balance towards zero. */
+    void decayCosts(MemCg &mcg, sim::SimTime now);
+
+    /** Register a backend; returns its stable registry index. */
+    std::uint8_t registerBackend(backend::OffloadBackend *be);
+
+    MemoryConfig config_;
+    sim::Rng rng_;
+    std::vector<Page> pages_;
+    /** Recycled page-table slots (freed pages). */
+    std::vector<PageIdx> freeSlots_;
+    std::vector<std::unique_ptr<MemCg>> memcgs_;
+    std::vector<backend::OffloadBackend *> backends_;
+    std::uint64_t residentPages_ = 0;
+    std::uint64_t oomEvents_ = 0;
+};
+
+} // namespace tmo::mem

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Page representation.
+ *
+ * The simulator models memory at page granularity. A Page object
+ * represents a *logical* page of a workload for its whole lifetime,
+ * whether it is resident in DRAM, compressed in zswap, in a swap slot
+ * on the SSD, or (for file pages) only on the filesystem. This lets
+ * shadow-entry information for refault detection live directly in the
+ * page instead of in a separate radix tree.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace tmo::mem
+{
+
+/** Index of a page within the host's page array. */
+using PageIdx = std::uint32_t;
+
+/** Sentinel: no page / end of list. */
+inline constexpr PageIdx NO_PAGE = 0xffffffffu;
+
+/** Where the page's current authoritative copy lives. */
+enum class Where : std::uint8_t {
+    /** Resident in DRAM (on an LRU list). */
+    RAM,
+    /** Compressed in the zswap pool. */
+    ZSWAP,
+    /** In a swap slot on the SSD. */
+    SWAP,
+    /** File page not in the page cache (only on the filesystem). */
+    FS,
+};
+
+/** Page flag bits. */
+enum PageFlags : std::uint8_t {
+    /** Anonymous (swap-backed) rather than file-backed. */
+    PG_ANON = 1u << 0,
+    /** Referenced since the last LRU scan (second-chance bit). */
+    PG_REFERENCED = 1u << 1,
+    /** Was part of the working set when last evicted. */
+    PG_WORKINGSET = 1u << 2,
+    /** Dirty file page: eviction requires writeback. */
+    PG_DIRTY = 1u << 3,
+};
+
+/** The LRU list a resident page is on. */
+enum class LruKind : std::uint8_t {
+    INACTIVE_ANON = 0,
+    ACTIVE_ANON = 1,
+    INACTIVE_FILE = 2,
+    ACTIVE_FILE = 3,
+    NONE = 4,
+};
+
+/** Number of real LRU lists. */
+inline constexpr std::size_t NUM_LRU_LISTS = 4;
+
+/** True for the two anon lists. */
+inline constexpr bool
+lruIsAnon(LruKind kind)
+{
+    return kind == LruKind::INACTIVE_ANON || kind == LruKind::ACTIVE_ANON;
+}
+
+/** True for the two active lists. */
+inline constexpr bool
+lruIsActive(LruKind kind)
+{
+    return kind == LruKind::ACTIVE_ANON || kind == LruKind::ACTIVE_FILE;
+}
+
+/**
+ * One logical page. Kept small (48 bytes) because hosts hold hundreds
+ * of thousands of them.
+ */
+struct Page {
+    /** LRU linkage (indices into the host page array). */
+    PageIdx prev = NO_PAGE;
+    PageIdx next = NO_PAGE;
+    /** Owning memory-cgroup id (index into the manager's table). */
+    std::uint16_t memcg = 0;
+    std::uint8_t flags = 0;
+    /** Offload store holding this page while it is offloaded (index
+     *  into the manager's backend registry; 0xff = none). Kept per
+     *  page so faults resolve correctly across backend switches. */
+    std::uint8_t store = 0xff;
+    Where where = Where::FS;
+    LruKind lru = LruKind::NONE;
+    /** Bytes occupied in the offload backend while offloaded. */
+    std::uint32_t storedBytes = 0;
+    /**
+     * Shadow entry: the cgroup's non-resident age when this file page
+     * was last evicted (0 = never evicted). Refault distance is the
+     * difference to the current age (§3.4).
+     */
+    std::uint64_t shadowAge = 0;
+    /** Last access time, for idle/coldness tracking (Fig. 2). */
+    sim::SimTime lastAccess = 0;
+
+    bool isAnon() const { return flags & PG_ANON; }
+    bool referenced() const { return flags & PG_REFERENCED; }
+    bool resident() const { return where == Where::RAM; }
+};
+
+} // namespace tmo::mem

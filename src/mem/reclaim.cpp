@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Core reclaim loop (the kernel's shrink_lruvec, §3.4).
+ *
+ * TMO_BALANCED mode implements the paper's upstreamed algorithm:
+ * reclaim exclusively from file cache while no refaults occur; once
+ * refaults appear, balance file scanning against anonymous swap by the
+ * relative (decaying) refault vs. swap-in cost. LEGACY_FILE_FIRST
+ * reproduces the historic behaviour where swap is an emergency
+ * overflow only.
+ */
+
+#include <algorithm>
+#include <cassert>
+
+#include "mem/memory_manager.hpp"
+
+namespace tmo::mem
+{
+
+namespace
+{
+
+/** Demotion batch when rebalancing active/inactive lists. */
+constexpr std::uint32_t AGE_BATCH = 32;
+
+} // namespace
+
+ReclaimOutcome
+MemoryManager::shrinkMemCg(MemCg &mcg, std::uint64_t target_bytes,
+                           sim::SimTime now)
+{
+    ReclaimOutcome outcome;
+    const std::uint64_t target_pages =
+        std::max<std::uint64_t>(1, target_bytes / config_.pageBytes);
+
+    decayCosts(mcg, now);
+
+    // Swap can become unavailable mid-pass (partition full).
+    bool anon_blocked = mcg.anonBackend == nullptr;
+
+    auto anon_fraction = [&]() -> double {
+        if (anon_blocked || mcg.lru.anonPages() == 0)
+            return 0.0;
+        if (mcg.lru.filePages() == 0)
+            return 1.0;
+        switch (config_.mode) {
+          case ReclaimMode::TMO_BALANCED:
+            // No observed refault cost: the file cache still holds
+            // cold tail pages, keep reclaiming only those.
+            if (mcg.fileCost < 0.5)
+                return 0.0;
+            return std::clamp(
+                mcg.fileCost / (mcg.fileCost + mcg.anonCost + 1e-9),
+                0.05, 0.95);
+          case ReclaimMode::LEGACY_FILE_FIRST: {
+            // Swap only when file cache is nearly gone.
+            const double file_frac =
+                static_cast<double>(mcg.lru.filePages()) /
+                static_cast<double>(mcg.lru.totalPages());
+            return file_frac < 0.125 ? 0.5 : 0.0;
+          }
+        }
+        return 0.0;
+    };
+
+    // Demote from the active list when the inactive list is too short
+    // to give pages a fair second chance.
+    auto age_lists = [&](bool anon) {
+        const LruKind active_kind =
+            anon ? LruKind::ACTIVE_ANON : LruKind::ACTIVE_FILE;
+        const LruKind inactive_kind =
+            anon ? LruKind::INACTIVE_ANON : LruKind::INACTIVE_FILE;
+        LruList &active = mcg.lru.list(active_kind);
+        LruList &inactive = mcg.lru.list(inactive_kind);
+        std::uint32_t moved = 0;
+        while (moved < AGE_BATCH && !active.empty() &&
+               static_cast<double>(inactive.size()) <
+                   config_.inactiveRatio *
+                       static_cast<double>(active.size())) {
+            const PageIdx idx = active.tail();
+            Page &page = pages_[idx];
+            page.flags &= ~PG_REFERENCED;
+            mcg.lru.detach(pages_, idx);
+            mcg.lru.attachHead(pages_, idx, inactive_kind);
+            ++mcg.cg->stats().pgdeactivate;
+            ++moved;
+        }
+    };
+
+    auto evict_anon = [&](PageIdx idx, Page &page) -> bool {
+        // Tiered placement (§5.2): pages with working-set history are
+        // warmer — keep them in the fast tier; cold pages go straight
+        // to the cold tier.
+        backend::OffloadBackend *be = mcg.anonBackend;
+        if (mcg.anonColdBackend && !(page.flags & PG_WORKINGSET))
+            be = mcg.anonColdBackend;
+
+        auto store =
+            be->store(config_.pageBytes, mcg.compressibility, now);
+        if (!store.accepted && mcg.anonColdBackend &&
+            be != mcg.anonColdBackend) {
+            // Incompressible data or pool cap: demote to the cold
+            // tier instead of failing the eviction.
+            be = mcg.anonColdBackend;
+            store =
+                be->store(config_.pageBytes, mcg.compressibility, now);
+        }
+        if (!store.accepted) {
+            if (be->isBlockDevice()) {
+                anon_blocked = true; // swap partition full
+            }
+            ++mcg.storeRejects;
+            // Keep the page resident; activate so it is not rescanned
+            // immediately.
+            mcg.lru.detach(pages_, idx);
+            mcg.lru.attachHead(pages_, idx, LruKind::ACTIVE_ANON);
+            return false;
+        }
+        mcg.lru.detach(pages_, idx);
+        mcg.cg->uncharge(config_.pageBytes);
+        assert(residentPages_ > 0);
+        --residentPages_;
+        page.storedBytes = static_cast<std::uint32_t>(store.storedBytes);
+        // Anon shadow entry for workingset detection on swap-in.
+        page.shadowAge = ++mcg.nonresidentAgeAnon;
+        page.store = registerBackend(be);
+        if (be->storesInHostDram()) {
+            page.where = Where::ZSWAP;
+            mcg.zswapBytes += store.storedBytes;
+            // The compressed copy still occupies DRAM in the pool.
+            mcg.cg->charge(store.storedBytes);
+            ++mcg.cg->stats().zswpout;
+        } else {
+            page.where = Where::SWAP;
+            mcg.swapBytes += store.storedBytes;
+            // Physical SSD writes are what endurance regulation
+            // watches; byte-addressable tiers do no block IO.
+            if (be->isBlockDevice()) {
+                mcg.swapoutBytes.add(
+                    static_cast<double>(config_.pageBytes), now);
+            }
+        }
+        ++mcg.cg->stats().pswpout;
+        return true;
+    };
+
+    auto evict_file = [&](PageIdx idx, Page &page) -> bool {
+        // Dirty pages need writeback first (compressibility < 0 flags
+        // writeback to the filesystem backend).
+        if (page.flags & PG_DIRTY) {
+            mcg.fileBackend->store(config_.pageBytes, -1.0, now);
+            page.flags &= ~PG_DIRTY;
+        }
+        mcg.lru.detach(pages_, idx);
+        mcg.cg->uncharge(config_.pageBytes);
+        assert(residentPages_ > 0);
+        --residentPages_;
+        page.where = Where::FS;
+        // Shadow entry: remember the eviction age for refault
+        // detection on the next fault of this page.
+        page.shadowAge = ++mcg.nonresidentAge;
+        ++mcg.cg->stats().pgfilesteal;
+        return true;
+    };
+
+    std::uint64_t reclaimed_pages = 0;
+    const std::uint64_t max_scan =
+        4 * mcg.lru.totalPages() + config_.scanBatch;
+
+    // Scan one type's inactive tail for up to `want` evictions,
+    // bounded by one batch of scanning. Returns pages evicted.
+    auto shrink_list = [&](bool anon, std::uint64_t want) {
+        std::uint64_t evicted = 0;
+        if (want == 0)
+            return evicted;
+        age_lists(anon);
+        const LruKind inactive_kind = anon ? LruKind::INACTIVE_ANON
+                                           : LruKind::INACTIVE_FILE;
+        LruList &inactive = mcg.lru.list(inactive_kind);
+        const std::uint32_t batch = static_cast<std::uint32_t>(
+            std::min<std::size_t>(config_.scanBatch, inactive.size()));
+        for (std::uint32_t i = 0; i < batch && evicted < want; ++i) {
+            const PageIdx idx = inactive.tail();
+            Page &page = pages_[idx];
+            ++outcome.scannedPages;
+            ++mcg.cg->stats().pgscan;
+
+            if (page.referenced()) {
+                // Second chance: clear and rotate to the list head.
+                page.flags &= ~PG_REFERENCED;
+                inactive.moveToHead(pages_, idx);
+                ++mcg.cg->stats().pgrotate;
+                continue;
+            }
+
+            const bool ok = page.isAnon() ? evict_anon(idx, page)
+                                          : evict_file(idx, page);
+            if (ok) {
+                ++evicted;
+                ++mcg.cg->stats().pgsteal;
+                if (page.isAnon())
+                    ++outcome.anonPages;
+                else
+                    ++outcome.filePages;
+                // Sampling-based LRU mis-aging: occasionally a
+                // working-set page is misjudged cold and evicted
+                // outright; collateral damage scales with reclaim
+                // volume, which is what makes over-aggressive
+                // configurations hurt (Fig. 13).
+                if (rng_.chance(config_.lruMisagingRate)) {
+                    const LruKind active_kind =
+                        anon ? LruKind::ACTIVE_ANON
+                             : LruKind::ACTIVE_FILE;
+                    LruList &active = mcg.lru.list(active_kind);
+                    if (!active.empty()) {
+                        const PageIdx victim = active.tail();
+                        Page &vpage = pages_[victim];
+                        vpage.flags &= ~PG_REFERENCED;
+                        ++mcg.cg->stats().pgdeactivate;
+                        const bool vok =
+                            vpage.isAnon() ? evict_anon(victim, vpage)
+                                           : evict_file(victim, vpage);
+                        if (vok) {
+                            ++evicted;
+                            ++mcg.cg->stats().pgsteal;
+                            if (vpage.isAnon())
+                                ++outcome.anonPages;
+                            else
+                                ++outcome.filePages;
+                        }
+                    }
+                }
+            } else if (anon && anon_blocked) {
+                break; // swap filled up mid-batch
+            }
+        }
+        return evicted;
+    };
+
+    while (reclaimed_pages < target_pages &&
+           outcome.scannedPages < max_scan) {
+        // Deterministic per-type scan targets from the cost balance,
+        // like the kernel's get_scan_count().
+        double fa = anon_fraction();
+        const std::uint64_t remaining = target_pages - reclaimed_pages;
+        if (mcg.lru.filePages() == 0)
+            fa = (anon_blocked || mcg.lru.anonPages() == 0) ? 0.0 : 1.0;
+        std::uint64_t want_anon = static_cast<std::uint64_t>(
+            fa * static_cast<double>(remaining) + 0.5);
+        if (fa > 0.0 && want_anon == 0)
+            want_anon = 1; // nonzero balance scans at least one page
+        const std::uint64_t want_file = remaining - std::min(
+            remaining, want_anon);
+
+        const std::uint64_t scanned_before = outcome.scannedPages;
+        reclaimed_pages += shrink_list(true, want_anon);
+        reclaimed_pages += shrink_list(false, want_file);
+        if (outcome.scannedPages == scanned_before)
+            break; // both lists empty or unusable: no progress possible
+    }
+
+    outcome.reclaimedBytes = reclaimed_pages * config_.pageBytes;
+    outcome.cpuTime = sim::fromUsec(
+        static_cast<double>(outcome.scannedPages) *
+        config_.reclaimUsPerPage);
+    return outcome;
+}
+
+} // namespace tmo::mem

@@ -1,0 +1,221 @@
+#include "psi/psi.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace tmo::psi
+{
+
+namespace
+{
+
+/** Bit position for a TaskState bit (bit must have exactly one set). */
+std::size_t
+bitIndex(unsigned bit)
+{
+    switch (bit) {
+      case TSK_ONCPU:
+        return 0;
+      case TSK_RUNNABLE:
+        return 1;
+      case TSK_MEMSTALL:
+        return 2;
+      case TSK_IOWAIT:
+        return 3;
+      default:
+        assert(false && "invalid task state bit");
+        return 0;
+    }
+}
+
+/** EWMA factor for folding one AVG_PERIOD into a window of length w. */
+double
+avgAlpha(sim::SimTime window)
+{
+    const double period = sim::toSeconds(PsiGroup::AVG_PERIOD);
+    const double w = sim::toSeconds(window);
+    return 1.0 - std::exp(-period / w);
+}
+
+const double ALPHA10 = avgAlpha(10 * sim::SEC);
+const double ALPHA60 = avgAlpha(60 * sim::SEC);
+const double ALPHA300 = avgAlpha(300 * sim::SEC);
+
+} // namespace
+
+const char *
+resourceName(Resource r)
+{
+    switch (r) {
+      case Resource::CPU:
+        return "cpu";
+      case Resource::MEM:
+        return "memory";
+      case Resource::IO:
+        return "io";
+    }
+    return "?";
+}
+
+bool
+PsiGroup::stateActive(Resource r, Kind kind) const
+{
+    const unsigned oncpu = nr_[bitIndex(TSK_ONCPU)];
+    const unsigned runnable = nr_[bitIndex(TSK_RUNNABLE)];
+    const unsigned memstall = nr_[bitIndex(TSK_MEMSTALL)];
+    const unsigned iowait = nr_[bitIndex(TSK_IOWAIT)];
+
+    switch (r) {
+      case Resource::CPU:
+        // Tasks wait for CPU; "full" means nobody productive at all.
+        return kind == SOME ? runnable > 0 : runnable > 0 && oncpu == 0;
+      case Resource::MEM:
+        return kind == SOME ? memstall > 0 : memstall > 0 && oncpu == 0;
+      case Resource::IO:
+        return kind == SOME ? iowait > 0 : iowait > 0 && oncpu == 0;
+    }
+    return false;
+}
+
+void
+PsiGroup::accrue(sim::SimTime now)
+{
+    // Aggregation domains shared by several reporters (ancestor
+    // cgroups fed by multiple containers' tick replays) can observe
+    // slightly out-of-order timestamps within one tick window; clamp
+    // rather than let the unsigned delta wrap. The accounting error
+    // is bounded by the overlap of the reporters' windows.
+    if (now <= lastChange_)
+        return;
+    const sim::SimTime delta = now - lastChange_;
+
+    bool non_idle = false;
+    for (const auto bit : nr_)
+        non_idle = non_idle || bit > 0;
+    if (non_idle)
+        nonIdleTime_ += delta;
+
+    for (std::size_t ri = 0; ri < NUM_RESOURCES; ++ri) {
+        const auto r = static_cast<Resource>(ri);
+        if (stateActive(r, SOME))
+            stallTime_[ri][SOME] += delta;
+        if (stateActive(r, FULL))
+            stallTime_[ri][FULL] += delta;
+    }
+    lastChange_ = now;
+}
+
+void
+PsiGroup::taskChange(unsigned clear, unsigned set, sim::SimTime now)
+{
+    accrue(now);
+    for (unsigned bit = 1; bit <= TSK_IOWAIT; bit <<= 1) {
+        if (clear & bit) {
+            const std::size_t idx = bitIndex(bit);
+            assert(nr_[idx] > 0 && "clearing state with zero tasks");
+            --nr_[idx];
+        }
+        if (set & bit)
+            ++nr_[bitIndex(bit)];
+    }
+}
+
+void
+PsiGroup::updateAverages(sim::SimTime now)
+{
+    accrue(now);
+    const sim::SimTime elapsed = now - lastAvgUpdate_;
+    if (elapsed < AVG_PERIOD)
+        return;
+
+    const double span = static_cast<double>(elapsed);
+    for (std::size_t ri = 0; ri < NUM_RESOURCES; ++ri) {
+        for (std::size_t k = 0; k < NUM_KINDS; ++k) {
+            const sim::SimTime delta =
+                stallTime_[ri][k] - lastFolded_[ri][k];
+            const double pressure = static_cast<double>(delta) / span;
+            avg10_[ri][k] += ALPHA10 * (pressure - avg10_[ri][k]);
+            avg60_[ri][k] += ALPHA60 * (pressure - avg60_[ri][k]);
+            avg300_[ri][k] += ALPHA300 * (pressure - avg300_[ri][k]);
+            lastFolded_[ri][k] = stallTime_[ri][k];
+        }
+    }
+    lastAvgUpdate_ = now;
+}
+
+Pressure
+PsiGroup::some(Resource r) const
+{
+    const auto ri = static_cast<std::size_t>(r);
+    return Pressure{avg10_[ri][SOME], avg60_[ri][SOME], avg300_[ri][SOME],
+                    stallTime_[ri][SOME]};
+}
+
+Pressure
+PsiGroup::full(Resource r) const
+{
+    const auto ri = static_cast<std::size_t>(r);
+    return Pressure{avg10_[ri][FULL], avg60_[ri][FULL], avg300_[ri][FULL],
+                    stallTime_[ri][FULL]};
+}
+
+sim::SimTime
+PsiGroup::totalSome(Resource r, sim::SimTime now) const
+{
+    const auto ri = static_cast<std::size_t>(r);
+    sim::SimTime total = stallTime_[ri][SOME];
+    if (now > lastChange_ && stateActive(r, SOME))
+        total += now - lastChange_;
+    return total;
+}
+
+sim::SimTime
+PsiGroup::totalFull(Resource r, sim::SimTime now) const
+{
+    const auto ri = static_cast<std::size_t>(r);
+    sim::SimTime total = stallTime_[ri][FULL];
+    if (now > lastChange_ && stateActive(r, FULL))
+        total += now - lastChange_;
+    return total;
+}
+
+unsigned
+PsiGroup::taskCount(TaskState bit) const
+{
+    return nr_[bitIndex(bit)];
+}
+
+std::size_t
+PsiTriggerSet::add(PsiTrigger trigger)
+{
+    Entry entry;
+    entry.trigger = std::move(trigger);
+    entries_.push_back(std::move(entry));
+    return entries_.size() - 1;
+}
+
+void
+PsiTriggerSet::poll(sim::SimTime now)
+{
+    for (auto &entry : entries_) {
+        const auto &t = entry.trigger;
+        const sim::SimTime total =
+            t.fullKind ? group_.totalFull(t.resource, now)
+                       : group_.totalSome(t.resource, now);
+        if (now - entry.windowStart >= t.window) {
+            // Slide to a new window.
+            entry.windowStart = now;
+            entry.startTotal = total;
+            entry.fired = false;
+            continue;
+        }
+        const sim::SimTime stall = total - entry.startTotal;
+        if (!entry.fired && stall >= t.threshold) {
+            entry.fired = true;
+            if (t.callback)
+                t.callback(stall);
+        }
+    }
+}
+
+} // namespace tmo::psi

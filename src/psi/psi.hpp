@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Pressure Stall Information (PSI).
+ *
+ * Reimplementation of the kernel mechanism the paper contributes
+ * (upstreamed as kernel/sched/psi.c). PSI measures, per container and
+ * machine-wide, the share of wall time in which lost work occurs due
+ * to a shortage of CPU, memory, or IO:
+ *
+ *  - "some": at least one task in the domain is stalled on the
+ *    resource (added latency to individual tasks);
+ *  - "full": all non-idle tasks are stalled simultaneously (completely
+ *    unproductive time for the domain).
+ *
+ * Tasks report state transitions (running / runnable / memstall /
+ * iowait) through PsiGroup::taskChange(); the group accrues stall time
+ * between transitions, keeps microsecond-resolution totals, and
+ * maintains exponential running averages over 10 s / 1 m / 5 m windows,
+ * updated every 2 s like the kernel.
+ *
+ * Differences from the kernel: accounting is per-domain rather than
+ * per-CPU (the simulator has no per-CPU runqueues), so the kernel's
+ * NR_MEMSTALL_RUNNING refinement (direct reclaim burning CPU counts as
+ * productive for "full") is approximated by treating stalled tasks as
+ * off-CPU.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace tmo::psi
+{
+
+/** Resources PSI tracks. */
+enum class Resource { CPU = 0, MEM = 1, IO = 2 };
+
+/** Number of tracked resources. */
+inline constexpr std::size_t NUM_RESOURCES = 3;
+
+/** Human-readable resource name ("cpu", "memory", "io"). */
+const char *resourceName(Resource r);
+
+/**
+ * Task state bits, combinable. A task waiting for swap-in from disk is
+ * MEMSTALL | IOWAIT: it contributes to both memory and IO pressure,
+ * exactly as in the kernel.
+ */
+enum TaskState : unsigned {
+    /** Executing on a CPU. */
+    TSK_ONCPU = 1u << 0,
+    /** Wants a CPU but is waiting for one (CPU stall). */
+    TSK_RUNNABLE = 1u << 1,
+    /** Stalled on memory: direct reclaim, refault wait, swap-in wait. */
+    TSK_MEMSTALL = 1u << 2,
+    /** Waiting for block IO completion. */
+    TSK_IOWAIT = 1u << 3,
+};
+
+/** Aggregated pressure readout for one resource/kind. */
+struct Pressure {
+    /** Running averages as fractions in [0, 1]. */
+    double avg10 = 0.0;
+    double avg60 = 0.0;
+    double avg300 = 0.0;
+    /** Absolute stall time total. */
+    sim::SimTime total = 0;
+};
+
+/**
+ * PSI accounting domain: one per cgroup plus one machine-wide.
+ *
+ * The owner must (a) route every task state transition in the domain
+ * through taskChange() in nondecreasing time order and (b) call
+ * updateAverages() periodically (every AVG_PERIOD) so the running
+ * averages decay; totals are exact regardless.
+ */
+class PsiGroup
+{
+  public:
+    /** Averaging cadence used by the kernel (2 s). */
+    static constexpr sim::SimTime AVG_PERIOD = 2 * sim::SEC;
+
+    PsiGroup() = default;
+
+    /**
+     * Apply a task state transition at time @p now.
+     *
+     * @param clear State bits one task is leaving.
+     * @param set State bits the task is entering.
+     * @param now Current simulated time (nondecreasing across calls).
+     */
+    void taskChange(unsigned clear, unsigned set, sim::SimTime now);
+
+    /**
+     * Fold elapsed time into the running averages. Call every
+     * AVG_PERIOD; cheap enough to call more often.
+     */
+    void updateAverages(sim::SimTime now);
+
+    /** "some" pressure readout for a resource. */
+    Pressure some(Resource r) const;
+
+    /** "full" pressure readout for a resource. */
+    Pressure full(Resource r) const;
+
+    /** Absolute "some" stall total (includes time up to @p now). */
+    sim::SimTime totalSome(Resource r, sim::SimTime now) const;
+
+    /** Absolute "full" stall total (includes time up to @p now). */
+    sim::SimTime totalFull(Resource r, sim::SimTime now) const;
+
+    /** Current count of tasks with the given state bit. */
+    unsigned taskCount(TaskState bit) const;
+
+    /** Time with at least one non-idle task, up to last transition. */
+    sim::SimTime nonIdleTime() const { return nonIdleTime_; }
+
+  private:
+    /** Index pair into the accounting arrays. */
+    enum Kind { SOME = 0, FULL = 1, NUM_KINDS = 2 };
+
+    /** Whether some/full currently holds for a resource. */
+    bool stateActive(Resource r, Kind kind) const;
+
+    /** Accrue time since lastChange_ into the active states. */
+    void accrue(sim::SimTime now);
+
+    /** Stall time accumulated per resource and kind. */
+    std::array<std::array<sim::SimTime, NUM_KINDS>, NUM_RESOURCES>
+        stallTime_{};
+
+    /** Totals already folded into averages. */
+    std::array<std::array<sim::SimTime, NUM_KINDS>, NUM_RESOURCES>
+        lastFolded_{};
+
+    /** Running averages per resource and kind. */
+    std::array<std::array<double, NUM_KINDS>, NUM_RESOURCES> avg10_{};
+    std::array<std::array<double, NUM_KINDS>, NUM_RESOURCES> avg60_{};
+    std::array<std::array<double, NUM_KINDS>, NUM_RESOURCES> avg300_{};
+
+    /** Task counts per state bit (indexed by bit position). */
+    std::array<unsigned, 4> nr_{};
+
+    sim::SimTime lastChange_ = 0;
+    sim::SimTime lastAvgUpdate_ = 0;
+    sim::SimTime nonIdleTime_ = 0;
+};
+
+/**
+ * Userspace PSI trigger (§3.2.4 use case: oomd-style watchers).
+ * Fires a callback when stall time within a sliding window exceeds a
+ * threshold. Evaluated by PsiTriggerSet::poll().
+ */
+struct PsiTrigger {
+    Resource resource = Resource::MEM;
+    bool fullKind = false;
+    /** Stall time threshold within the window. */
+    sim::SimTime threshold = 0;
+    /** Window length. */
+    sim::SimTime window = sim::SEC;
+    /** Invoked with the observed stall time when the trigger fires. */
+    std::function<void(sim::SimTime stall)> callback;
+};
+
+/**
+ * A set of triggers attached to one PsiGroup. poll() should be called
+ * periodically (e.g. every AVG_PERIOD); each trigger fires at most
+ * once per window.
+ */
+class PsiTriggerSet
+{
+  public:
+    explicit PsiTriggerSet(const PsiGroup &group)
+        : group_(group)
+    {}
+
+    /** Register a trigger; returns its index. */
+    std::size_t add(PsiTrigger trigger);
+
+    /** Evaluate all triggers at time @p now. */
+    void poll(sim::SimTime now);
+
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    struct Entry {
+        PsiTrigger trigger;
+        sim::SimTime windowStart = 0;
+        sim::SimTime startTotal = 0;
+        bool fired = false;
+    };
+
+    const PsiGroup &group_;
+    std::vector<Entry> entries_;
+};
+
+} // namespace tmo::psi

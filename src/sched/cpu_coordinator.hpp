@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Host-wide CPU coordination.
+ *
+ * PSI tracks CPU pressure alongside memory and IO (§3.2.3): "CPU
+ * stalls are accounted for as the periods of time when a process is
+ * runnable but needs to wait for an idle CPU." Workloads on the same
+ * host contend for the same cores; the coordinator aggregates their
+ * per-tick demand and hands each a satisfaction scale, whose
+ * shortfall the workloads turn into TSK_RUNNABLE time — and therefore
+ * CPU pressure — in their containers.
+ *
+ * Demand is aggregated over the previous completed window (one tick
+ * of lag) so ticking workloads see a stable, order-independent value.
+ */
+
+#pragma once
+
+#include <algorithm>
+
+#include "sim/time.hpp"
+
+namespace tmo::sched
+{
+
+/** Aggregates CPU demand across all workloads of a host. */
+class CpuCoordinator
+{
+  public:
+    /**
+     * @param cpus Number of cores on the host.
+     * @param window Demand-aggregation window (the workload tick).
+     */
+    explicit CpuCoordinator(unsigned cpus,
+                            sim::SimTime window = sim::SEC)
+        : cpus_(cpus), window_(window)
+    {}
+
+    /** Report @p demand (CPU-time within the window) at time @p now. */
+    void
+    report(sim::SimTime demand, sim::SimTime now)
+    {
+        roll(now);
+        accum_ += demand;
+    }
+
+    /**
+     * Fraction of reported demand the host could satisfy in the last
+     * completed window, in (0, 1].
+     */
+    double
+    contentionScale(sim::SimTime now)
+    {
+        roll(now);
+        const auto capacity = static_cast<double>(cpus_) *
+                              static_cast<double>(window_);
+        if (lastWindowDemand_ <= 0.0 || lastWindowDemand_ <= capacity)
+            return 1.0;
+        return capacity / lastWindowDemand_;
+    }
+
+    /** Host core count. */
+    unsigned cpus() const { return cpus_; }
+
+    /** Total demand in the last completed window (CPU-time). */
+    double lastWindowDemand() const { return lastWindowDemand_; }
+
+  private:
+    void
+    roll(sim::SimTime now)
+    {
+        while (now >= windowStart_ + window_) {
+            lastWindowDemand_ = accum_;
+            accum_ = 0.0;
+            windowStart_ += window_;
+        }
+    }
+
+    unsigned cpus_;
+    sim::SimTime window_;
+    sim::SimTime windowStart_ = 0;
+    double accum_ = 0.0;
+    double lastWindowDemand_ = 0.0;
+};
+
+} // namespace tmo::sched

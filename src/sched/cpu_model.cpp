@@ -1,0 +1,44 @@
+#include "sched/cpu_model.hpp"
+
+#include <algorithm>
+
+namespace tmo::sched
+{
+
+std::vector<CpuShare>
+allocateCpu(const std::vector<sim::SimTime> &demands, unsigned cpus,
+            sim::SimTime tick_length)
+{
+    std::vector<CpuShare> shares(demands.size());
+    if (demands.empty() || cpus == 0)
+        return shares;
+
+    sim::SimTime total = 0;
+    for (const auto d : demands)
+        total += std::min(d, tick_length);
+
+    const sim::SimTime capacity =
+        static_cast<sim::SimTime>(cpus) * tick_length;
+
+    if (total <= capacity) {
+        for (std::size_t i = 0; i < demands.size(); ++i)
+            shares[i].run = std::min(demands[i], tick_length);
+        return shares;
+    }
+
+    // Oversubscribed: processor sharing stretches everyone equally.
+    const double scale = static_cast<double>(capacity) /
+                         static_cast<double>(total);
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+        const sim::SimTime want = std::min(demands[i], tick_length);
+        const auto run = static_cast<sim::SimTime>(
+            static_cast<double>(want) * scale);
+        shares[i].run = run;
+        // The unmet remainder is time spent waiting on the runqueue,
+        // bounded by the tick.
+        shares[i].wait = std::min(want - run, tick_length - run);
+    }
+    return shares;
+}
+
+} // namespace tmo::sched

@@ -1,0 +1,73 @@
+#include "sched/task.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tmo::sched
+{
+
+Task::Task(cgroup::Cgroup &cg, std::string name)
+    : cg_(&cg), name_(std::move(name))
+{}
+
+Task::~Task()
+{
+    // PSI counts must not leak when a task disappears; drop any
+    // remaining state at the time of the last transition.
+    if (state_ != 0)
+        cg_->psiTaskChange(state_, 0, lastTransition_);
+}
+
+void
+Task::setState(unsigned state, sim::SimTime now)
+{
+    lastTransition_ = std::max(lastTransition_, now);
+    if (state == state_)
+        return;
+    const unsigned clear = state_ & ~state;
+    const unsigned set = state & ~state_;
+    cg_->psiTaskChange(clear, set, now);
+    state_ = state;
+}
+
+void
+replayTimelines(std::vector<TaskTimeline> &timelines,
+                sim::SimTime tick_end)
+{
+    // Flatten to (time, task, state) transition events. Each segment
+    // produces a transition at its start; a trailing idle transition is
+    // added at its end unless the next segment is contiguous.
+    struct Event {
+        sim::SimTime time;
+        Task *task;
+        unsigned state;
+    };
+    std::vector<Event> events;
+    for (auto &tl : timelines) {
+        auto &segs = tl.segments;
+        std::sort(segs.begin(), segs.end(),
+                  [](const Segment &a, const Segment &b) {
+                      return a.start < b.start;
+                  });
+        for (std::size_t i = 0; i < segs.size(); ++i) {
+            const Segment &seg = segs[i];
+            events.push_back({seg.start, tl.task, seg.state});
+            const sim::SimTime end = seg.start + seg.duration;
+            const bool contiguous =
+                i + 1 < segs.size() && segs[i + 1].start <= end;
+            if (!contiguous)
+                events.push_back({end, tl.task, 0u});
+        }
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event &a, const Event &b) {
+                         return a.time < b.time;
+                     });
+    for (const Event &event : events)
+        event.task->setState(event.state, std::min(event.time, tick_end));
+    // Leave every task idle at the end of the tick.
+    for (auto &tl : timelines)
+        tl.task->setState(0, tick_end);
+}
+
+} // namespace tmo::sched

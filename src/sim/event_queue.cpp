@@ -1,0 +1,56 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace tmo::sim
+{
+
+EventId
+EventQueue::schedule(SimTime when, EventFn fn)
+{
+    const EventId id = nextId_++;
+    heap_.push(Entry{when, nextSeq_++, id, std::move(fn)});
+    live_.insert(id);
+    return id;
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    // Lazy deletion: drop from the live set; the heap entry is skipped
+    // when it reaches the head. Unknown/already-fired ids are ignored.
+    live_.erase(id);
+}
+
+void
+EventQueue::skipDead()
+{
+    while (!heap_.empty() && !live_.count(heap_.top().id))
+        heap_.pop();
+}
+
+SimTime
+EventQueue::nextTime()
+{
+    skipDead();
+    if (heap_.empty())
+        throw std::logic_error("EventQueue::nextTime on empty queue");
+    return heap_.top().when;
+}
+
+SimTime
+EventQueue::runNext()
+{
+    skipDead();
+    if (heap_.empty())
+        throw std::logic_error("EventQueue::runNext on empty queue");
+    // Move the entry out before running: the callback may schedule.
+    Entry entry = heap_.top();
+    heap_.pop();
+    live_.erase(entry.id);
+    entry.fn();
+    return entry.when;
+}
+
+} // namespace tmo::sim

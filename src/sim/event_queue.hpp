@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Discrete-event queue.
+ *
+ * The control plane of the simulator (Senpai ticks, PSI averaging,
+ * workload ticks, device completions) is scheduled through this queue.
+ * Events with equal timestamps fire in insertion order, which keeps
+ * runs deterministic.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace tmo::sim
+{
+
+/** Callback type invoked when an event fires. */
+using EventFn = std::function<void()>;
+
+/** Opaque handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+/** Sentinel EventId meaning "no event". */
+inline constexpr EventId INVALID_EVENT = 0;
+
+/**
+ * Priority queue of timed callbacks with stable ordering and lazy
+ * cancellation.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /**
+     * Schedule a callback at an absolute simulated time.
+     *
+     * @param when Absolute firing time; must be >= the time of the last
+     *        popped event (scheduling in the past is a logic error).
+     * @param fn Callback to invoke.
+     * @return Handle that can be passed to cancel().
+     */
+    EventId schedule(SimTime when, EventFn fn);
+
+    /** Cancel a previously scheduled event. Unknown ids are ignored. */
+    void cancel(EventId id);
+
+    /** True when no live events remain. */
+    bool empty() const { return live_.empty(); }
+
+    /** Number of live (non-cancelled) events. */
+    std::size_t size() const { return live_.size(); }
+
+    /** Firing time of the earliest live event; queue must not be empty. */
+    SimTime nextTime();
+
+    /**
+     * Pop and run the earliest live event.
+     *
+     * @return The time of the event that ran.
+     */
+    SimTime runNext();
+
+  private:
+    struct Entry {
+        SimTime when;
+        std::uint64_t seq;
+        EventId id;
+        EventFn fn;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    /** Drop cancelled entries from the head of the heap. */
+    void skipDead();
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    std::unordered_set<EventId> live_;
+    std::uint64_t nextSeq_ = 0;
+    EventId nextId_ = 1;
+};
+
+} // namespace tmo::sim

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Deterministic random number generation for the simulator.
+ *
+ * Every source of randomness in the simulator flows through an Rng
+ * instance that is explicitly seeded, so paired A/B experiment tiers can
+ * share identical access streams and every run is reproducible.
+ *
+ * The core generator is xoshiro256** (public domain, Blackman & Vigna),
+ * chosen over std::mt19937_64 for speed and a tiny, copyable state.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tmo::sim
+{
+
+/**
+ * Deterministic pseudo-random generator with the distributions the
+ * simulator needs (uniform, exponential, normal, lognormal, Zipf).
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Re-seed the generator, resetting all state. */
+    void seed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Bernoulli trial with success probability p. */
+    bool chance(double p);
+
+    /** Exponentially distributed value with the given mean. */
+    double exponential(double mean);
+
+    /** Standard normal via Box-Muller (cached pair). */
+    double normal();
+
+    /** Normal with given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /**
+     * Lognormal parameterized by the median and the p99/median ratio,
+     * which is how SSD latency specs are usually quoted.
+     *
+     * @param median The distribution median (same units as the result).
+     * @param p99_over_median Ratio of the 99th percentile to the median;
+     *        must be >= 1.
+     */
+    double lognormalMedianP99(double median, double p99_over_median);
+
+  private:
+    std::uint64_t state_[4];
+    double cachedNormal_;
+    bool hasCachedNormal_;
+};
+
+/**
+ * Zipf(s) sampler over ranks [0, n) using precomputed cumulative
+ * weights and binary search. O(log n) per sample, O(n) setup.
+ *
+ * Rank 0 is the hottest item. s = 0 degenerates to uniform.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n Number of items; must be > 0.
+     * @param s Zipf skew exponent (>= 0). Typical workloads: 0.6-1.1.
+     */
+    ZipfSampler(std::size_t n, double s);
+
+    /** Draw one rank in [0, n). */
+    std::size_t sample(Rng &rng) const;
+
+    /** Number of items. */
+    std::size_t size() const { return cdf_.size(); }
+
+    /** Probability mass of a single rank. */
+    double pmf(std::size_t rank) const;
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace tmo::sim

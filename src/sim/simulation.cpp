@@ -1,0 +1,39 @@
+#include "sim/simulation.hpp"
+
+#include <utility>
+
+namespace tmo::sim
+{
+
+void
+Simulation::every(SimTime period, std::function<bool()> fn)
+{
+    // Self-rescheduling wrapper; stops when fn returns false.
+    after(period, [this, period, fn = std::move(fn)]() mutable {
+        if (fn())
+            every(period, std::move(fn));
+    });
+}
+
+void
+Simulation::runUntil(SimTime deadline)
+{
+    // Advance the clock before running each event so callbacks observe
+    // their own firing time through now().
+    while (!events_.empty() && events_.nextTime() <= deadline) {
+        now_ = events_.nextTime();
+        events_.runNext();
+    }
+    now_ = deadline;
+}
+
+void
+Simulation::runToCompletion()
+{
+    while (!events_.empty()) {
+        now_ = events_.nextTime();
+        events_.runNext();
+    }
+}
+
+} // namespace tmo::sim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Top-level simulation driver: clock + event queue.
+ */
+
+#pragma once
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace tmo::sim
+{
+
+/**
+ * Owns the simulated clock and the event queue and advances time by
+ * draining events. Components schedule work relative to now().
+ */
+class Simulation
+{
+  public:
+    Simulation() = default;
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    /** Current simulated time. */
+    SimTime now() const { return now_; }
+
+    /** The underlying event queue. */
+    EventQueue &events() { return events_; }
+
+    /** Schedule a callback @p delay after now(). */
+    EventId
+    after(SimTime delay, EventFn fn)
+    {
+        return events_.schedule(now_ + delay, std::move(fn));
+    }
+
+    /** Schedule a callback at an absolute time (>= now()). */
+    EventId
+    at(SimTime when, EventFn fn)
+    {
+        return events_.schedule(when, std::move(fn));
+    }
+
+    /**
+     * Schedule a callback every @p period, starting one period from now,
+     * until it returns false.
+     */
+    void every(SimTime period, std::function<bool()> fn);
+
+    /**
+     * Run events until the queue is empty or the next event is past
+     * @p deadline. The clock ends at exactly @p deadline.
+     */
+    void runUntil(SimTime deadline);
+
+    /** Run until the event queue is drained. */
+    void runToCompletion();
+
+  private:
+    SimTime now_ = 0;
+    EventQueue events_;
+};
+
+} // namespace tmo::sim

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Exponentially weighted moving averages over simulated time.
+ */
+
+#pragma once
+
+#include <cmath>
+
+#include "sim/time.hpp"
+
+namespace tmo::stats
+{
+
+/**
+ * Continuous-time EWMA: the weight of old data decays exponentially
+ * with a configurable half life, measured in simulated time. Used for
+ * rate smoothing (e.g. swap-out MB/s for the write regulator).
+ */
+class Ewma
+{
+  public:
+    /** @param half_life Time for an old sample's weight to halve. */
+    explicit Ewma(sim::SimTime half_life)
+        : halfLife_(half_life)
+    {}
+
+    /** Record a new sample observed at time @p now. */
+    void
+    update(double sample, sim::SimTime now)
+    {
+        if (!initialized_) {
+            value_ = sample;
+            lastUpdate_ = now;
+            initialized_ = true;
+            return;
+        }
+        const double dt = static_cast<double>(now - lastUpdate_);
+        const double hl = static_cast<double>(halfLife_);
+        const double alpha = 1.0 - std::exp2(-dt / hl);
+        value_ += alpha * (sample - value_);
+        lastUpdate_ = now;
+    }
+
+    /** Current smoothed value (0 until the first update). */
+    double value() const { return initialized_ ? value_ : 0.0; }
+
+    /** Whether at least one sample has been recorded. */
+    bool initialized() const { return initialized_; }
+
+    /** Forget all history. */
+    void
+    reset()
+    {
+        value_ = 0.0;
+        lastUpdate_ = 0;
+        initialized_ = false;
+    }
+
+  private:
+    sim::SimTime halfLife_;
+    double value_ = 0.0;
+    sim::SimTime lastUpdate_ = 0;
+    bool initialized_ = false;
+};
+
+/**
+ * Rate meter: counts events/bytes and reports a windowed rate per
+ * second of simulated time. Closed windows feed an EWMA so the
+ * reported rate is smooth but responsive.
+ */
+class RateMeter
+{
+  public:
+    /**
+     * @param window Accumulation window length.
+     * @param half_life EWMA half life applied across windows.
+     */
+    explicit RateMeter(sim::SimTime window = sim::SEC,
+                       sim::SimTime half_life = 10 * sim::SEC)
+        : window_(window), ewma_(half_life)
+    {}
+
+    /** Add @p amount observed at time @p now. */
+    void
+    add(double amount, sim::SimTime now)
+    {
+        roll(now);
+        accum_ += amount;
+        total_ += amount;
+    }
+
+    /** Smoothed rate in units per second, as of time @p now. */
+    double
+    rate(sim::SimTime now)
+    {
+        roll(now);
+        return ewma_.value();
+    }
+
+    /** Total amount ever added. */
+    double total() const { return total_; }
+
+  private:
+    /** Close any windows that ended before @p now. */
+    void
+    roll(sim::SimTime now)
+    {
+        while (now >= windowStart_ + window_) {
+            const double per_sec =
+                accum_ / sim::toSeconds(window_);
+            ewma_.update(per_sec, windowStart_ + window_);
+            accum_ = 0.0;
+            windowStart_ += window_;
+        }
+    }
+
+    sim::SimTime window_;
+    Ewma ewma_;
+    sim::SimTime windowStart_ = 0;
+    double accum_ = 0.0;
+    double total_ = 0.0;
+};
+
+} // namespace tmo::stats

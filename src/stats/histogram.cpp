@@ -1,0 +1,89 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tmo::stats
+{
+
+Histogram::Histogram(double min_value, double max_value,
+                     int buckets_per_decade)
+{
+    assert(min_value > 0.0);
+    assert(max_value > min_value);
+    assert(buckets_per_decade > 0);
+    logMin_ = std::log10(min_value);
+    logStep_ = 1.0 / buckets_per_decade;
+    const double decades = std::log10(max_value) - logMin_;
+    numBuckets_ =
+        static_cast<std::size_t>(std::ceil(decades / logStep_)) + 1;
+    counts_.assign(numBuckets_, 0);
+}
+
+std::size_t
+Histogram::indexFor(double value) const
+{
+    if (value <= 0.0)
+        return 0;
+    const double pos = (std::log10(value) - logMin_) / logStep_;
+    if (pos < 0.0)
+        return 0;
+    const auto idx = static_cast<std::size_t>(pos);
+    return std::min(idx, numBuckets_ - 1);
+}
+
+double
+Histogram::valueFor(std::size_t index) const
+{
+    const double lo = logMin_ + static_cast<double>(index) * logStep_;
+    return std::pow(10.0, lo + 0.5 * logStep_);
+}
+
+void
+Histogram::add(double value)
+{
+    ++counts_[indexFor(value)];
+    ++count_;
+    sum_ += value;
+    maxSeen_ = std::max(maxSeen_, value);
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(count_);
+    double cumulative = 0.0;
+    for (std::size_t i = 0; i < numBuckets_; ++i) {
+        const double next = cumulative + static_cast<double>(counts_[i]);
+        if (next >= target && counts_[i] > 0) {
+            // Interpolate within the bucket in log space.
+            const double frac =
+                (target - cumulative) / static_cast<double>(counts_[i]);
+            const double lo = logMin_ + static_cast<double>(i) * logStep_;
+            return std::pow(10.0, lo + frac * logStep_);
+        }
+        cumulative = next;
+    }
+    return valueFor(numBuckets_ - 1);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    count_ = 0;
+    sum_ = 0.0;
+    maxSeen_ = 0.0;
+}
+
+} // namespace tmo::stats

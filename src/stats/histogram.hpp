@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Log-bucketed histogram for latency-style distributions.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tmo::stats
+{
+
+/**
+ * Histogram with logarithmically spaced buckets, suitable for values
+ * spanning several orders of magnitude (device latencies in ns).
+ * Percentile queries interpolate within the matched bucket.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param min_value Lower bound of the first bucket (> 0).
+     * @param max_value Upper bound of the last regular bucket.
+     * @param buckets_per_decade Resolution (default 20: ~12% wide buckets).
+     */
+    Histogram(double min_value = 1.0, double max_value = 1e12,
+              int buckets_per_decade = 20);
+
+    /** Record one sample. Out-of-range samples clamp to the edge buckets. */
+    void add(double value);
+
+    /** Number of recorded samples. */
+    std::uint64_t count() const { return count_; }
+
+    /** Mean of recorded samples. */
+    double mean() const;
+
+    /** Approximate quantile, q in [0, 1]. Returns 0 when empty. */
+    double quantile(double q) const;
+
+    /** Shorthand percentiles. */
+    double p50() const { return quantile(0.50); }
+    double p90() const { return quantile(0.90); }
+    double p99() const { return quantile(0.99); }
+
+    /** Largest recorded sample. */
+    double max() const { return maxSeen_; }
+
+    /** Drop all samples. */
+    void reset();
+
+  private:
+    /** Bucket index for a value. */
+    std::size_t indexFor(double value) const;
+    /** Representative (geometric mid) value of a bucket. */
+    double valueFor(std::size_t index) const;
+
+    double logMin_;
+    double logStep_;
+    std::size_t numBuckets_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double maxSeen_ = 0.0;
+};
+
+} // namespace tmo::stats

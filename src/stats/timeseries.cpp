@@ -1,0 +1,88 @@
+#include "stats/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tmo::stats
+{
+
+double
+TimeSeries::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &s : samples_)
+        sum += s.value;
+    return sum / static_cast<double>(samples_.size());
+}
+
+double
+TimeSeries::meanBetween(sim::SimTime from, sim::SimTime to) const
+{
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const auto &s : samples_) {
+        if (s.time >= from && s.time < to) {
+            sum += s.value;
+            ++n;
+        }
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double
+TimeSeries::min() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double m = samples_.front().value;
+    for (const auto &s : samples_)
+        m = std::min(m, s.value);
+    return m;
+}
+
+double
+TimeSeries::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double m = samples_.front().value;
+    for (const auto &s : samples_)
+        m = std::max(m, s.value);
+    return m;
+}
+
+double
+TimeSeries::last() const
+{
+    return samples_.empty() ? 0.0 : samples_.back().value;
+}
+
+double
+TimeSeries::quantile(double q) const
+{
+    std::vector<double> values;
+    values.reserve(samples_.size());
+    for (const auto &s : samples_)
+        values.push_back(s.value);
+    return exactQuantile(std::move(values), q);
+}
+
+double
+exactQuantile(std::vector<double> values, double q)
+{
+    if (values.empty())
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    std::sort(values.begin(), values.end());
+    // Linear interpolation between closest ranks.
+    const double pos = q * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= values.size())
+        return values.back();
+    return values[lo] + frac * (values[lo + 1] - values[lo]);
+}
+
+} // namespace tmo::stats

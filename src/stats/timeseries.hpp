@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Time-series collection for experiment output.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace tmo::stats
+{
+
+/** One (time, value) observation. */
+struct Sample {
+    sim::SimTime time;
+    double value;
+};
+
+/**
+ * Named series of timestamped samples with simple reductions. Benches
+ * record one series per figure panel and print/CSV them at the end.
+ */
+class TimeSeries
+{
+  public:
+    explicit TimeSeries(std::string name = "")
+        : name_(std::move(name))
+    {}
+
+    /** Append a sample; times should be nondecreasing. */
+    void
+    record(sim::SimTime time, double value)
+    {
+        samples_.push_back(Sample{time, value});
+    }
+
+    const std::string &name() const { return name_; }
+    const std::vector<Sample> &samples() const { return samples_; }
+    std::size_t size() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    /** Mean of all values (0 when empty). */
+    double mean() const;
+
+    /** Mean of the values with time in [from, to). */
+    double meanBetween(sim::SimTime from, sim::SimTime to) const;
+
+    /** Minimum value (0 when empty). */
+    double min() const;
+
+    /** Maximum value (0 when empty). */
+    double max() const;
+
+    /** Last recorded value (0 when empty). */
+    double last() const;
+
+    /** Exact quantile of all values, q in [0, 1] (0 when empty). */
+    double quantile(double q) const;
+
+  private:
+    std::string name_;
+    std::vector<Sample> samples_;
+};
+
+/**
+ * Exact quantile of a value vector, q in [0, 1]. Sorts a copy; meant
+ * for end-of-run reporting, not hot paths.
+ */
+double exactQuantile(std::vector<double> values, double q);
+
+} // namespace tmo::stats

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Synthetic application driver.
+ *
+ * An AppModel runs one containerized workload: it owns the container's
+ * pages (organized into reuse regions), touches them on a fixed tick,
+ * lets faults stall its worker tasks (feeding PSI), and processes a
+ * request load whose throughput (RPS) degrades when request-critical
+ * regions stall — reproducing the performance coupling the paper's
+ * load tests measure (§4.2-§4.4).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cgroup/cgroup.hpp"
+#include "mem/memory_manager.hpp"
+#include "sched/cpu_coordinator.hpp"
+#include "sched/task.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulation.hpp"
+#include "stats/ewma.hpp"
+#include "workload/app_profile.hpp"
+
+namespace tmo::workload
+{
+
+/** Aggregate results of the most recent tick. */
+struct TickStats {
+    double offeredRps = 0.0;
+    double completedRps = 0.0;
+    std::uint64_t touches = 0;
+    std::uint64_t criticalTouches = 0;
+    std::uint64_t faults = 0;
+    std::uint64_t refaults = 0;
+    std::uint64_t swapins = 0;
+    sim::SimTime memStall = 0;
+    sim::SimTime ioStall = 0;
+    /** Expected per-request latency this tick (cpu + miss stalls). */
+    double requestLatencyUs = 0.0;
+};
+
+/** One running workload instance. */
+class AppModel
+{
+  public:
+    /**
+     * @param simulation Event loop (drives the tick).
+     * @param mm Host memory manager.
+     * @param cg Container to run in; must already be attached to @p mm.
+     * @param profile Workload description.
+     * @param host_cpus CPUs available to this workload.
+     * @param seed Per-app deterministic seed.
+     * @param tick Workload tick length.
+     */
+    AppModel(sim::Simulation &simulation, mem::MemoryManager &mm,
+             cgroup::Cgroup &cg, AppProfile profile, unsigned host_cpus,
+             std::uint64_t seed, sim::SimTime tick = sim::SEC,
+             sched::CpuCoordinator *coordinator = nullptr);
+
+    ~AppModel();
+
+    AppModel(const AppModel &) = delete;
+    AppModel &operator=(const AppModel &) = delete;
+
+    /** Allocate initial memory and begin ticking. */
+    void start();
+
+    /** Stop ticking (container paused; memory stays). */
+    void stop();
+
+    /** Free all memory and start fresh (code-push restart, §4.2). */
+    void restart();
+
+    bool running() const { return running_; }
+
+    /** Results of the last completed tick. */
+    const TickStats &lastTick() const { return lastTick_; }
+
+    /** Change offered load mid-run. */
+    void setOfferedRps(double rps) { profile_.offeredRps = rps; }
+
+    const AppProfile &profile() const { return profile_; }
+    cgroup::Cgroup &cgroup() { return *cg_; }
+
+    /** Allocated (resident + offloaded) footprint in bytes. */
+    std::uint64_t allocatedBytes() const;
+
+  private:
+    struct Region {
+        RegionSpec spec;
+        std::vector<mem::PageIdx> pages;
+        std::size_t cursor = 0;
+        std::uint64_t targetPages = 0;
+        /** Fractional touches carried between ticks, so small or very
+         *  cold regions get their exact long-run touch rate. */
+        double touchCarry = 0.0;
+    };
+
+    /** Stall accounting buckets for one tick. */
+    struct Stalls {
+        sim::SimTime memOnly = 0;
+        sim::SimTime memAndIo = 0;
+        sim::SimTime ioOnly = 0;
+
+        sim::SimTime
+        total() const
+        {
+            return memOnly + memAndIo + ioOnly;
+        }
+    };
+
+    void buildRegions();
+    void allocateInitial(sim::SimTime now);
+    void growLazyRegions(sim::SimTime now, Stalls &stalls);
+    void churnColdAllocations(sim::SimTime now, Stalls &stalls);
+    void sweepRegion(Region &region, sim::SimTime now,
+                     sim::SimTime stall_budget, Stalls &critical,
+                     Stalls &background);
+    void accumulate(const mem::AccessResult &result, Stalls &stalls);
+    double throttleFactor() const;
+    void tick();
+    void scheduleTick();
+    void freeAll();
+
+    sim::Simulation &sim_;
+    mem::MemoryManager &mm_;
+    cgroup::Cgroup *cg_;
+    AppProfile profile_;
+    unsigned hostCpus_;
+    /** Shared host CPU coordinator (nullable: app-local model only). */
+    sched::CpuCoordinator *coordinator_;
+    sim::Rng rng_;
+    sim::SimTime tickLen_;
+
+    std::vector<Region> regions_;
+    std::vector<std::unique_ptr<sched::Task>> tasks_;
+    bool running_ = false;
+    sim::EventId tickEvent_ = sim::INVALID_EVENT;
+    TickStats lastTick_;
+    double growthCarry_ = 0.0;
+    double churnCarry_ = 0.0;
+    std::size_t churnCursor_ = 0;
+    /** Smoothed per-request miss cost: a single tick holds too few
+     *  critical touches for a stable rate estimate. */
+    stats::Ewma missCost_{30 * sim::SEC};
+};
+
+} // namespace tmo::workload

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Workload descriptions.
+ *
+ * An AppProfile is the synthetic stand-in for a production
+ * application. Its parameters are exactly the characteristics the
+ * paper publishes for its workloads: the memory-coldness curve
+ * (Fig. 2: fraction touched within 1/2/5 minutes and cold remainder),
+ * the anonymous/file split (Fig. 4), the compressibility of anon data
+ * (§4.1: Web ~4x, ML ads models 1.3-1.4x), request-processing cost,
+ * and growth/throttling behaviour (§4.2 for Web).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace tmo::workload
+{
+
+/** One contiguous class of pages with a common reuse behaviour. */
+struct RegionSpec {
+    std::string name;
+    /** Fraction of the app's footprint. */
+    double fraction = 0.0;
+    /** File-backed rather than anonymous. */
+    bool file = false;
+    /** Every page of the region is re-touched within this period. */
+    sim::SimTime reusePeriod = sim::MINUTE;
+    /**
+     * Touch pages at random instead of sweeping a cursor. Used for
+     * cold regions: a cyclic sweep would always touch the
+     * least-recently-used page next — adversarial to LRU in a way
+     * real sporadic cold accesses are not.
+     */
+    bool randomAccess = false;
+    /** Stalls in this region delay request processing (RPS). */
+    bool critical = false;
+    /** Touches dirty the pages (file regions only: log writers). */
+    bool dirty = false;
+    /** Allocated lazily over AppProfile::growthSeconds instead of at
+     *  startup (anon regions only). */
+    bool lazy = false;
+};
+
+/** Complete description of one synthetic application. */
+struct AppProfile {
+    std::string name;
+    /** Total memory footprint (anon + file). */
+    std::uint64_t footprintBytes = 1ull << 30;
+    /** Mean compression ratio of the anon data (>= 1). */
+    double compressibility = 3.0;
+    /** Page regions; fractions should sum to ~1. */
+    std::vector<RegionSpec> regions;
+
+    /** Worker threads processing requests. */
+    unsigned threads = 8;
+    /** Offered load in requests/s (0 = background service, no RPS). */
+    double offeredRps = 0.0;
+    /** CPU time per request, microseconds. */
+    double cpuUsPerRequest = 300.0;
+    /**
+     * Pages of the request-critical working set one request touches.
+     * Couples request latency (and therefore RPS) to critical-region
+     * fault stalls: frontend-bound services like Web touch many
+     * bytecode pages per request (§4.4).
+     */
+    double touchesPerRequest = 16.0;
+    /** Seconds over which lazy regions grow to full size (0 = none). */
+    double growthSeconds = 0.0;
+    /**
+     * Memory-bound self-throttling (§4.2): when the container's
+     * resident share of its memory.max exceeds this fraction, offered
+     * load is scaled down towards zero at 100%. 0 disables.
+     */
+    double throttleStartFraction = 0.0;
+    /**
+     * Allocation churn: bytes/s of the cold anon pool replaced with
+     * freshly allocated (hence resident) data. Models workloads that
+     * continuously produce new soon-cold memory (model reloads, batch
+     * outputs) — the pattern that keeps offload *writes* flowing for
+     * days and makes SSD endurance regulation matter (Fig. 14).
+     */
+    double churnBytesPerSec = 0.0;
+};
+
+/**
+ * Profile presets for the paper's applications, parameterized from
+ * Figs. 2, 4 and §4.1: "ads_a", "ads_b", "ads_c", "analytics", "feed",
+ * "cache_a", "cache_b", "web", "ml_reader", "warehouse", "re",
+ * "video".
+ *
+ * @param name Preset name (see above).
+ * @param footprint_bytes Scaled footprint for the simulated host.
+ */
+AppProfile appPreset(const std::string &name,
+                     std::uint64_t footprint_bytes);
+
+/**
+ * Sidecar / infrastructure presets (§2.3 memory tax): "dc_logging",
+ * "dc_profiling", "dc_discovery" (datacenter tax), "ms_proxy",
+ * "ms_router" (microservice tax).
+ */
+AppProfile sidecarPreset(const std::string &name,
+                         std::uint64_t footprint_bytes);
+
+/** All application preset names (Fig. 2 order). */
+const std::vector<std::string> &appPresetNames();
+
+} // namespace tmo::workload

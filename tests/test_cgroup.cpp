@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the cgroup hierarchy: accounting, limits, control files,
+ * and hierarchical PSI propagation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cgroup/cgroup.hpp"
+
+using namespace tmo;
+
+TEST(CgroupTest, TreeHasRoot)
+{
+    cgroup::CgroupTree tree;
+    EXPECT_EQ(tree.root().name(), "/");
+    EXPECT_EQ(tree.root().parent(), nullptr);
+    EXPECT_EQ(tree.all().size(), 1u);
+}
+
+TEST(CgroupTest, CreateBuildsHierarchy)
+{
+    cgroup::CgroupTree tree;
+    auto &a = tree.create("a");
+    auto &b = tree.create("b", &a);
+    EXPECT_EQ(a.parent(), &tree.root());
+    EXPECT_EQ(b.parent(), &a);
+    EXPECT_EQ(a.children().size(), 1u);
+    EXPECT_EQ(b.path(), "/a/b");
+}
+
+TEST(CgroupTest, FindByPath)
+{
+    cgroup::CgroupTree tree;
+    auto &a = tree.create("a");
+    auto &b = tree.create("b", &a);
+    EXPECT_EQ(tree.find("a"), &a);
+    EXPECT_EQ(tree.find("a/b"), &b);
+    EXPECT_EQ(tree.find("/a/b"), &b);
+    EXPECT_EQ(tree.find("missing"), nullptr);
+    EXPECT_EQ(tree.find("a/missing"), nullptr);
+}
+
+TEST(CgroupTest, ChargePropagatesToAncestors)
+{
+    cgroup::CgroupTree tree;
+    auto &a = tree.create("a");
+    auto &b = tree.create("b", &a);
+    b.charge(1000);
+    EXPECT_EQ(b.memCurrent(), 1000u);
+    EXPECT_EQ(a.memCurrent(), 1000u);
+    EXPECT_EQ(tree.root().memCurrent(), 1000u);
+    b.uncharge(400);
+    EXPECT_EQ(b.memCurrent(), 600u);
+    EXPECT_EQ(a.memCurrent(), 600u);
+}
+
+TEST(CgroupTest, SiblingsChargeIndependently)
+{
+    cgroup::CgroupTree tree;
+    auto &a = tree.create("a");
+    auto &b = tree.create("b");
+    a.charge(100);
+    b.charge(200);
+    EXPECT_EQ(a.memCurrent(), 100u);
+    EXPECT_EQ(b.memCurrent(), 200u);
+    EXPECT_EQ(tree.root().memCurrent(), 300u);
+}
+
+TEST(CgroupTest, HeadroomUnlimitedByDefault)
+{
+    cgroup::CgroupTree tree;
+    auto &a = tree.create("a");
+    EXPECT_EQ(a.headroom(), cgroup::NO_LIMIT);
+}
+
+TEST(CgroupTest, HeadroomHonoursTightestAncestorLimit)
+{
+    cgroup::CgroupTree tree;
+    auto &a = tree.create("a");
+    auto &b = tree.create("b", &a);
+    a.setMemMax(1000);
+    b.setMemMax(5000);
+    b.charge(400);
+    // a's limit (1000 - 400 = 600) is tighter than b's (4600).
+    EXPECT_EQ(b.headroom(), 600u);
+    b.charge(700);
+    EXPECT_EQ(b.headroom(), 0u);
+}
+
+TEST(CgroupTest, MemoryReclaimWithoutHookReturnsZero)
+{
+    cgroup::CgroupTree tree;
+    auto &a = tree.create("a");
+    EXPECT_EQ(a.memoryReclaim(1 << 20, 0), 0u);
+}
+
+TEST(CgroupTest, MemoryReclaimInvokesHook)
+{
+    cgroup::CgroupTree tree;
+    auto &a = tree.create("a");
+    std::uint64_t asked = 0;
+    a.setReclaimFn([&](cgroup::Cgroup &, std::uint64_t bytes,
+                       sim::SimTime) {
+        asked = bytes;
+        return bytes / 2;
+    });
+    EXPECT_EQ(a.memoryReclaim(1000, 5), 500u);
+    EXPECT_EQ(asked, 1000u);
+}
+
+TEST(CgroupTest, PsiPropagatesUpTheTree)
+{
+    cgroup::CgroupTree tree;
+    auto &a = tree.create("a");
+    auto &b = tree.create("b", &a);
+    b.psiTaskChange(0, psi::TSK_MEMSTALL, 0);
+    b.psiTaskChange(psi::TSK_MEMSTALL, 0, sim::SEC);
+
+    for (cgroup::Cgroup *node :
+         {&b, &a, &tree.root()}) {
+        EXPECT_EQ(node->psi().totalSome(psi::Resource::MEM, sim::SEC),
+                  sim::SEC)
+            << node->name();
+    }
+}
+
+TEST(CgroupTest, SiblingStallDoesNotLeakAcross)
+{
+    cgroup::CgroupTree tree;
+    auto &a = tree.create("a");
+    auto &b = tree.create("b");
+    a.psiTaskChange(0, psi::TSK_MEMSTALL, 0);
+    a.psiTaskChange(psi::TSK_MEMSTALL, 0, sim::SEC);
+    EXPECT_EQ(b.psi().totalSome(psi::Resource::MEM, sim::SEC), 0u);
+    EXPECT_EQ(tree.root().psi().totalSome(psi::Resource::MEM, sim::SEC),
+              sim::SEC);
+}
+
+TEST(CgroupTest, RootFullRequiresAllContainersStalled)
+{
+    // Machine-wide full pressure only when no container has a running
+    // task.
+    cgroup::CgroupTree tree;
+    auto &a = tree.create("a");
+    auto &b = tree.create("b");
+    a.psiTaskChange(0, psi::TSK_MEMSTALL, 0);
+    b.psiTaskChange(0, psi::TSK_ONCPU, 0);
+    a.psiTaskChange(psi::TSK_MEMSTALL, 0, sim::SEC);
+    b.psiTaskChange(psi::TSK_ONCPU, 0, sim::SEC);
+    // a alone was fully stalled...
+    EXPECT_EQ(a.psi().totalFull(psi::Resource::MEM, sim::SEC), sim::SEC);
+    // ...but machine-wide, b was running.
+    EXPECT_EQ(tree.root().psi().totalFull(psi::Resource::MEM, sim::SEC),
+              0u);
+}
+
+TEST(CgroupTest, PriorityDefaultsNormal)
+{
+    cgroup::CgroupTree tree;
+    auto &a = tree.create("a");
+    EXPECT_EQ(a.priority(), cgroup::Priority::NORMAL);
+    a.setPriority(cgroup::Priority::LOW);
+    EXPECT_EQ(a.priority(), cgroup::Priority::LOW);
+}
+
+TEST(CgroupTest, StatsStartAtZero)
+{
+    cgroup::CgroupTree tree;
+    auto &a = tree.create("a");
+    EXPECT_EQ(a.stats().pgscan, 0u);
+    EXPECT_EQ(a.stats().pswpin, 0u);
+    EXPECT_EQ(a.stats().wsRefault, 0u);
+}

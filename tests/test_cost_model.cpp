@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tests for the Fig. 1 cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "costmodel/cost_model.hpp"
+
+using namespace tmo;
+
+TEST(CostModelTest, SixGenerations)
+{
+    const auto trend = costmodel::costTrend();
+    ASSERT_EQ(trend.size(), 6u);
+    EXPECT_EQ(trend.front().generation, "Gen 1");
+    EXPECT_EQ(trend.back().generation, "Gen 6");
+}
+
+TEST(CostModelTest, DramCostGrowsTo33Percent)
+{
+    const auto trend = costmodel::costTrend();
+    for (std::size_t g = 1; g < trend.size(); ++g)
+        EXPECT_GT(trend[g].memoryPct, trend[g - 1].memoryPct);
+    EXPECT_DOUBLE_EQ(trend.back().memoryPct, 33.0);
+}
+
+TEST(CostModelTest, PowerReaches38Percent)
+{
+    const auto trend = costmodel::costTrend();
+    EXPECT_DOUBLE_EQ(trend.back().memoryPowerPct, 38.0);
+}
+
+TEST(CostModelTest, CompressedIsOneThirdOfDram)
+{
+    const auto trend = costmodel::costTrend();
+    for (const auto &gen : trend)
+        EXPECT_NEAR(gen.compressedPct, gen.memoryPct / 3.0, 1e-9);
+}
+
+TEST(CostModelTest, SsdIsoCapacityUnderOnePercent)
+{
+    // §2.1: "iso-capacity to DRAM, SSD remains under 1% of server
+    // cost across generations (about 10x lower than compressed
+    // memory)".
+    for (const auto &gen : costmodel::costTrend()) {
+        EXPECT_LT(gen.ssdIsoDramPct, 1.2);
+        EXPECT_NEAR(gen.compressedPct / gen.ssdIsoDramPct, 10.0, 1e-9);
+    }
+}
+
+TEST(CostModelTest, SsdTotalUnderThreePercent)
+{
+    for (const auto &gen : costmodel::costTrend())
+        EXPECT_LT(gen.ssdTotalPct, 3.0);
+}
+
+TEST(CostModelTest, ParamsChangeRatios)
+{
+    costmodel::CostModelParams params;
+    params.compressionRatio = 2.0;
+    const auto trend = costmodel::costTrend(params);
+    EXPECT_NEAR(trend.back().compressedPct, 33.0 / 2.0, 1e-9);
+}

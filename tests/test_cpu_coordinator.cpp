@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Unit tests for the host-wide CPU coordinator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched/cpu_coordinator.hpp"
+
+using namespace tmo;
+
+TEST(CpuCoordinatorTest, NoDemandMeansNoContention)
+{
+    sched::CpuCoordinator coordinator(4, sim::SEC);
+    EXPECT_DOUBLE_EQ(coordinator.contentionScale(0), 1.0);
+    EXPECT_DOUBLE_EQ(coordinator.contentionScale(10 * sim::SEC), 1.0);
+}
+
+TEST(CpuCoordinatorTest, WithinCapacityIsUnscaled)
+{
+    sched::CpuCoordinator coordinator(4, sim::SEC);
+    // 3 CPU-seconds of demand on 4 cores.
+    coordinator.report(3 * sim::SEC, 0);
+    EXPECT_DOUBLE_EQ(coordinator.contentionScale(sim::SEC), 1.0);
+}
+
+TEST(CpuCoordinatorTest, OversubscriptionScalesProportionally)
+{
+    sched::CpuCoordinator coordinator(2, sim::SEC);
+    // Two reporters wanting 2 CPU-seconds each on a 2-core host.
+    coordinator.report(2 * sim::SEC, 0);
+    coordinator.report(2 * sim::SEC, 0);
+    // The demand shows up in the *next* window (one tick of lag).
+    EXPECT_DOUBLE_EQ(coordinator.contentionScale(0), 1.0);
+    EXPECT_NEAR(coordinator.contentionScale(sim::SEC), 0.5, 1e-9);
+}
+
+TEST(CpuCoordinatorTest, DemandWindowsRoll)
+{
+    sched::CpuCoordinator coordinator(1, sim::SEC);
+    coordinator.report(4 * sim::SEC, 0);
+    EXPECT_NEAR(coordinator.contentionScale(sim::SEC), 0.25, 1e-9);
+    // No demand reported in [1 s, 2 s): contention clears at 2 s.
+    EXPECT_DOUBLE_EQ(coordinator.contentionScale(2 * sim::SEC), 1.0);
+}
+
+TEST(CpuCoordinatorTest, LastWindowDemandReadable)
+{
+    sched::CpuCoordinator coordinator(8, sim::SEC);
+    coordinator.report(sim::SEC, 0);
+    coordinator.report(2 * sim::SEC, 500 * sim::MSEC);
+    coordinator.contentionScale(sim::SEC); // roll the window
+    EXPECT_DOUBLE_EQ(coordinator.lastWindowDemand(),
+                     static_cast<double>(3 * sim::SEC));
+    EXPECT_EQ(coordinator.cpus(), 8u);
+}

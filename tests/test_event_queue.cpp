@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for the event queue and simulation loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulation.hpp"
+
+using namespace tmo;
+
+TEST(EventQueueTest, EmptyInitially)
+{
+    sim::EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueTest, RunsInTimeOrder)
+{
+    sim::EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    while (!q.empty())
+        q.runNext();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesRunInInsertionOrder)
+{
+    sim::EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(100, [&order, i] { order.push_back(i); });
+    while (!q.empty())
+        q.runNext();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CancelPreventsExecution)
+{
+    sim::EventQueue q;
+    bool ran = false;
+    const auto id = q.schedule(10, [&] { ran = true; });
+    q.cancel(id);
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelMiddleKeepsOthers)
+{
+    sim::EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] { order.push_back(1); });
+    const auto id = q.schedule(20, [&] { order.push_back(2); });
+    q.schedule(30, [&] { order.push_back(3); });
+    q.cancel(id);
+    while (!q.empty())
+        q.runNext();
+    EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, CancelInvalidIsNoop)
+{
+    sim::EventQueue q;
+    q.schedule(1, [] {});
+    q.cancel(sim::INVALID_EVENT);
+    q.cancel(9999);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled)
+{
+    sim::EventQueue q;
+    const auto id = q.schedule(5, [] {});
+    q.schedule(10, [] {});
+    q.cancel(id);
+    EXPECT_EQ(q.nextTime(), 10u);
+}
+
+TEST(EventQueueTest, EventCanScheduleMore)
+{
+    sim::EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] {
+        order.push_back(1);
+        q.schedule(20, [&] { order.push_back(2); });
+    });
+    while (!q.empty())
+        q.runNext();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueueTest, ThrowsOnEmptyPop)
+{
+    sim::EventQueue q;
+    EXPECT_THROW(q.runNext(), std::logic_error);
+    EXPECT_THROW(q.nextTime(), std::logic_error);
+}
+
+TEST(SimulationTest, ClockAdvancesWithEvents)
+{
+    sim::Simulation s;
+    sim::SimTime seen = 0;
+    s.at(100, [&] { seen = s.now(); });
+    s.runUntil(1000);
+    EXPECT_EQ(seen, 100u);
+    EXPECT_EQ(s.now(), 1000u);
+}
+
+TEST(SimulationTest, RunUntilStopsAtDeadline)
+{
+    sim::Simulation s;
+    bool late = false;
+    s.at(2000, [&] { late = true; });
+    s.runUntil(1000);
+    EXPECT_FALSE(late);
+    EXPECT_EQ(s.now(), 1000u);
+    s.runUntil(3000);
+    EXPECT_TRUE(late);
+}
+
+TEST(SimulationTest, AfterIsRelative)
+{
+    sim::Simulation s;
+    s.at(500, [&] {
+        s.after(100, [&] { EXPECT_EQ(s.now(), 600u); });
+    });
+    s.runToCompletion();
+    EXPECT_EQ(s.now(), 600u);
+}
+
+TEST(SimulationTest, EveryRepeatsUntilFalse)
+{
+    sim::Simulation s;
+    int count = 0;
+    s.every(10, [&] {
+        ++count;
+        return count < 5;
+    });
+    s.runUntil(1000);
+    EXPECT_EQ(count, 5);
+}
+
+TEST(SimulationTest, EveryPeriodIsExact)
+{
+    sim::Simulation s;
+    std::vector<sim::SimTime> fires;
+    s.every(250, [&] {
+        fires.push_back(s.now());
+        return fires.size() < 4;
+    });
+    s.runToCompletion();
+    EXPECT_EQ(fires,
+              (std::vector<sim::SimTime>{250, 500, 750, 1000}));
+}

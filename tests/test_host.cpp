@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests for host assembly and the fleet abstraction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/fleet.hpp"
+#include "host/host.hpp"
+#include "stats/timeseries.hpp"
+#include "workload/app_profile.hpp"
+
+using namespace tmo;
+
+namespace
+{
+
+host::HostConfig
+smallHost()
+{
+    host::HostConfig config;
+    config.mem.ramBytes = 1ull << 30;
+    config.mem.pageBytes = 64 * 1024;
+    config.cpus = 8;
+    return config;
+}
+
+} // namespace
+
+TEST(HostTest, ComponentsWired)
+{
+    sim::Simulation simulation;
+    host::Host machine(simulation, smallHost(), "h");
+    EXPECT_EQ(machine.name(), "h");
+    EXPECT_EQ(machine.memory().ramCapacity(), 1ull << 30);
+    // Swap defaults to RAM size.
+    EXPECT_EQ(machine.swap().usedBytes(), 0u);
+    EXPECT_EQ(machine.ssd().spec().name, "ssd-C");
+}
+
+TEST(HostTest, AddAppCreatesContainer)
+{
+    sim::Simulation simulation;
+    host::Host machine(simulation, smallHost());
+    auto &app = machine.addApp(
+        workload::appPreset("feed", 256ull << 20),
+        host::AnonMode::ZSWAP);
+    EXPECT_EQ(app.cgroup().name(), "feed");
+    EXPECT_EQ(machine.apps().size(), 1u);
+    EXPECT_EQ(machine.cgroups().find("feed"), &app.cgroup());
+}
+
+TEST(HostTest, AnonModeNoneMeansNoSwap)
+{
+    sim::Simulation simulation;
+    host::Host machine(simulation, smallHost());
+    auto &app = machine.addApp(
+        workload::appPreset("feed", 256ull << 20),
+        host::AnonMode::NONE);
+    machine.start();
+    app.start();
+    simulation.runUntil(5 * sim::SEC);
+    machine.memory().reclaim(app.cgroup(), 64ull << 20,
+                             simulation.now());
+    EXPECT_EQ(app.cgroup().stats().pswpout, 0u);
+}
+
+TEST(HostTest, AnonModeSwapUsesSsd)
+{
+    sim::Simulation simulation;
+    host::Host machine(simulation, smallHost());
+    auto &app = machine.addApp(
+        workload::appPreset("ads_a", 256ull << 20),
+        host::AnonMode::SWAP_SSD);
+    machine.start();
+    app.start();
+    simulation.runUntil(5 * sim::SEC);
+    machine.memory().reclaim(app.cgroup(), 64ull << 20,
+                             simulation.now());
+    EXPECT_GT(machine.swap().usedBytes(), 0u);
+    EXPECT_GT(machine.ssd().bytesWritten(), 0u);
+}
+
+TEST(HostTest, AnonModeZswapFillsPool)
+{
+    sim::Simulation simulation;
+    host::Host machine(simulation, smallHost());
+    auto &app = machine.addApp(
+        workload::appPreset("web", 256ull << 20),
+        host::AnonMode::ZSWAP);
+    machine.start();
+    app.start();
+    simulation.runUntil(5 * sim::SEC);
+    // Reclaim beyond the file cache: with no refault history the
+    // reclaimer drains file first (§3.4), then must compress anon.
+    machine.memory().reclaim(app.cgroup(), 220ull << 20,
+                             simulation.now());
+    EXPECT_GT(machine.zswap().usedBytes(), 0u);
+    EXPECT_EQ(machine.swap().usedBytes(), 0u);
+}
+
+TEST(HostTest, PsiAveragingRuns)
+{
+    sim::Simulation simulation;
+    host::Host machine(simulation, smallHost());
+    auto &app = machine.addApp(
+        workload::appPreset("feed", 700ull << 20),
+        host::AnonMode::ZSWAP);
+    machine.start();
+    app.start();
+    // Force heavy eviction so sweeps fault continuously.
+    simulation.runUntil(3 * sim::SEC);
+    machine.memory().reclaim(app.cgroup(), 600ull << 20,
+                             simulation.now());
+    simulation.runUntil(30 * sim::SEC);
+    const auto pressure = app.cgroup().psi().some(psi::Resource::MEM);
+    EXPECT_GT(pressure.avg10, 0.0);
+}
+
+TEST(HostTest, SetAnonModeSwitchesBackend)
+{
+    sim::Simulation simulation;
+    host::Host machine(simulation, smallHost());
+    auto &app = machine.addApp(
+        workload::appPreset("feed", 256ull << 20),
+        host::AnonMode::NONE);
+    machine.start();
+    app.start();
+    simulation.runUntil(2 * sim::SEC);
+    machine.setAnonMode(app.cgroup(), host::AnonMode::ZSWAP);
+    machine.memory().reclaim(app.cgroup(), 220ull << 20,
+                             simulation.now());
+    EXPECT_GT(machine.zswap().usedBytes(), 0u);
+}
+
+TEST(FleetTest, HostsAreIndependentButShareClock)
+{
+    sim::Simulation simulation;
+    host::Fleet fleet(simulation);
+    for (int i = 0; i < 4; ++i)
+        fleet.addHost(smallHost(), "node");
+    EXPECT_EQ(fleet.size(), 4u);
+
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+        auto &app = fleet.host(i).addApp(
+            workload::appPreset("feed", 128ull << 20),
+            host::AnonMode::ZSWAP);
+        app.start();
+    }
+    fleet.start();
+    simulation.runUntil(5 * sim::SEC);
+    for (std::size_t i = 0; i < fleet.size(); ++i)
+        EXPECT_GT(fleet.host(i).apps()[0]->lastTick().completedRps, 0.0);
+}
+
+TEST(FleetTest, SeedsDifferAcrossHosts)
+{
+    sim::Simulation simulation;
+    host::Fleet fleet(simulation);
+    auto config = smallHost();
+    auto &a = fleet.addHost(config, "n");
+    auto &b = fleet.addHost(config, "n");
+    EXPECT_NE(a.config().seed, b.config().seed);
+    EXPECT_NE(a.name(), b.name());
+}
+
+TEST(FleetTest, CollectGathersMetrics)
+{
+    sim::Simulation simulation;
+    host::Fleet fleet(simulation);
+    for (int i = 0; i < 3; ++i)
+        fleet.addHost(smallHost(), "n");
+    const auto values = fleet.collect(
+        [](host::Host &h) { return static_cast<double>(
+            h.memory().ramCapacity()); });
+    ASSERT_EQ(values.size(), 3u);
+    EXPECT_DOUBLE_EQ(stats::exactQuantile(values, 0.5),
+                     static_cast<double>(1ull << 30));
+}
+
+TEST(HostTest, CrossAppCpuContentionMakesCpuPressure)
+{
+    // Two CPU-hungry services on a 2-core host oversubscribe it; the
+    // coordinator turns the shortfall into runnable-wait, i.e. CPU
+    // pressure in both containers and machine-wide (§3.2.3).
+    auto make_profile = [](const char *name) {
+        auto profile = workload::appPreset("cache_a", 128ull << 20);
+        profile.name = name;
+        profile.threads = 4;
+        profile.offeredRps = 20000; // 20k x 50us = 1 CPU-second/s
+        return profile;
+    };
+    auto run = [&](bool second_app) {
+        sim::Simulation simulation;
+        auto config = smallHost();
+        config.cpus = 2;
+        host::Host machine(simulation, config);
+        auto &a = machine.addApp(make_profile("a"),
+                                 host::AnonMode::NONE);
+        a.start();
+        if (second_app) {
+            auto &b = machine.addApp(make_profile("b"),
+                                     host::AnonMode::NONE);
+            auto &c = machine.addApp(make_profile("c"),
+                                     host::AnonMode::NONE);
+            b.start();
+            c.start();
+        }
+        machine.start();
+        simulation.runUntil(30 * sim::SEC);
+        return machine.cgroups().root().psi().totalSome(
+            psi::Resource::CPU, simulation.now());
+    };
+    const auto alone = run(false);
+    const auto contended = run(true);
+    // One service fits in 2 cores; three demanding ~3 CPU-seconds/s
+    // do not.
+    EXPECT_EQ(alone, 0u);
+    EXPECT_GT(contended, sim::SEC);
+}

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the intrusive LRU lists.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/lru.hpp"
+
+using namespace tmo;
+using mem::LruKind;
+using mem::LruList;
+using mem::LruVec;
+using mem::Page;
+using mem::PageIdx;
+
+namespace
+{
+
+std::vector<Page>
+makePages(std::size_t n)
+{
+    return std::vector<Page>(n);
+}
+
+/** Collect list contents head -> tail. */
+std::vector<PageIdx>
+contents(const LruList &list, const std::vector<Page> &pages)
+{
+    std::vector<PageIdx> out;
+    for (PageIdx idx = list.head(); idx != mem::NO_PAGE;
+         idx = pages[idx].next)
+        out.push_back(idx);
+    return out;
+}
+
+} // namespace
+
+TEST(LruListTest, EmptyInitially)
+{
+    LruList list;
+    EXPECT_TRUE(list.empty());
+    EXPECT_EQ(list.head(), mem::NO_PAGE);
+    EXPECT_EQ(list.tail(), mem::NO_PAGE);
+}
+
+TEST(LruListTest, AddHeadOrder)
+{
+    auto pages = makePages(3);
+    LruList list;
+    list.addHead(pages, 0);
+    list.addHead(pages, 1);
+    list.addHead(pages, 2);
+    EXPECT_EQ(contents(list, pages), (std::vector<PageIdx>{2, 1, 0}));
+    EXPECT_EQ(list.tail(), 0u);
+    EXPECT_EQ(list.size(), 3u);
+}
+
+TEST(LruListTest, AddTailOrder)
+{
+    auto pages = makePages(3);
+    LruList list;
+    list.addTail(pages, 0);
+    list.addTail(pages, 1);
+    list.addTail(pages, 2);
+    EXPECT_EQ(contents(list, pages), (std::vector<PageIdx>{0, 1, 2}));
+    EXPECT_EQ(list.tail(), 2u);
+}
+
+TEST(LruListTest, RemoveHeadMiddleTail)
+{
+    auto pages = makePages(5);
+    LruList list;
+    for (PageIdx i = 0; i < 5; ++i)
+        list.addTail(pages, i);
+
+    list.remove(pages, 0); // head
+    EXPECT_EQ(contents(list, pages), (std::vector<PageIdx>{1, 2, 3, 4}));
+    list.remove(pages, 2); // middle
+    EXPECT_EQ(contents(list, pages), (std::vector<PageIdx>{1, 3, 4}));
+    list.remove(pages, 4); // tail
+    EXPECT_EQ(contents(list, pages), (std::vector<PageIdx>{1, 3}));
+    EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(LruListTest, RemoveLastLeavesEmpty)
+{
+    auto pages = makePages(1);
+    LruList list;
+    list.addHead(pages, 0);
+    list.remove(pages, 0);
+    EXPECT_TRUE(list.empty());
+    EXPECT_EQ(list.head(), mem::NO_PAGE);
+    EXPECT_EQ(list.tail(), mem::NO_PAGE);
+}
+
+TEST(LruListTest, MoveToHead)
+{
+    auto pages = makePages(3);
+    LruList list;
+    for (PageIdx i = 0; i < 3; ++i)
+        list.addTail(pages, i);
+    list.moveToHead(pages, 2);
+    EXPECT_EQ(contents(list, pages), (std::vector<PageIdx>{2, 0, 1}));
+    // Moving the head is a no-op.
+    list.moveToHead(pages, 2);
+    EXPECT_EQ(contents(list, pages), (std::vector<PageIdx>{2, 0, 1}));
+}
+
+TEST(LruListTest, RemovedPageLinksCleared)
+{
+    auto pages = makePages(2);
+    LruList list;
+    list.addHead(pages, 0);
+    list.addHead(pages, 1);
+    list.remove(pages, 1);
+    EXPECT_EQ(pages[1].prev, mem::NO_PAGE);
+    EXPECT_EQ(pages[1].next, mem::NO_PAGE);
+}
+
+TEST(LruVecTest, AttachDetachTagsPages)
+{
+    auto pages = makePages(4);
+    LruVec vec;
+    vec.attachHead(pages, 0, LruKind::ACTIVE_ANON);
+    vec.attachHead(pages, 1, LruKind::INACTIVE_FILE);
+    EXPECT_EQ(pages[0].lru, LruKind::ACTIVE_ANON);
+    EXPECT_EQ(pages[1].lru, LruKind::INACTIVE_FILE);
+    EXPECT_EQ(vec.anonPages(), 1u);
+    EXPECT_EQ(vec.filePages(), 1u);
+    EXPECT_EQ(vec.totalPages(), 2u);
+
+    vec.detach(pages, 0);
+    EXPECT_EQ(pages[0].lru, LruKind::NONE);
+    EXPECT_EQ(vec.anonPages(), 0u);
+}
+
+TEST(LruVecTest, DetachUnlinkedIsNoop)
+{
+    auto pages = makePages(1);
+    LruVec vec;
+    vec.detach(pages, 0); // not on any list
+    EXPECT_EQ(vec.totalPages(), 0u);
+}
+
+TEST(LruVecTest, KindHelpers)
+{
+    EXPECT_TRUE(mem::lruIsAnon(LruKind::ACTIVE_ANON));
+    EXPECT_TRUE(mem::lruIsAnon(LruKind::INACTIVE_ANON));
+    EXPECT_FALSE(mem::lruIsAnon(LruKind::ACTIVE_FILE));
+    EXPECT_TRUE(mem::lruIsActive(LruKind::ACTIVE_FILE));
+    EXPECT_FALSE(mem::lruIsActive(LruKind::INACTIVE_ANON));
+}
+
+TEST(LruVecTest, ManyPagesStressConsistency)
+{
+    const std::size_t n = 1000;
+    auto pages = makePages(n);
+    LruVec vec;
+    for (PageIdx i = 0; i < n; ++i)
+        vec.attachHead(pages, i,
+                       i % 2 ? LruKind::INACTIVE_ANON
+                             : LruKind::INACTIVE_FILE);
+    EXPECT_EQ(vec.totalPages(), n);
+    // Remove every third page.
+    std::size_t removed = 0;
+    for (PageIdx i = 0; i < n; i += 3) {
+        vec.detach(pages, i);
+        ++removed;
+    }
+    EXPECT_EQ(vec.totalPages(), n - removed);
+    // Walk both lists and verify linkage integrity.
+    for (const auto kind :
+         {LruKind::INACTIVE_ANON, LruKind::INACTIVE_FILE}) {
+        const auto &list = vec.list(kind);
+        std::size_t count = 0;
+        PageIdx prev = mem::NO_PAGE;
+        for (PageIdx idx = list.head(); idx != mem::NO_PAGE;
+             idx = pages[idx].next) {
+            EXPECT_EQ(pages[idx].prev, prev);
+            prev = idx;
+            ++count;
+        }
+        EXPECT_EQ(count, list.size());
+        EXPECT_EQ(list.tail(), prev);
+    }
+}

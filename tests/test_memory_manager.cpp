@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Tests for the memory manager: allocation, fault paths, refault
+ * detection, charge accounting and limits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "backend/filesystem.hpp"
+#include "backend/ssd.hpp"
+#include "backend/swap_backend.hpp"
+#include "backend/zswap.hpp"
+#include "cgroup/cgroup.hpp"
+#include "mem/memory_manager.hpp"
+
+using namespace tmo;
+
+namespace
+{
+
+constexpr std::uint32_t PAGE = 64 * 1024;
+
+/** Shared fixture wiring a manager to one cgroup with all backends. */
+class MemoryManagerTest : public ::testing::Test
+{
+  protected:
+    MemoryManagerTest()
+        : ssd(backend::ssdSpecForClass('C'), 1),
+          swap(ssd, 256ull << 20),
+          fs(ssd),
+          zswap({}, 2),
+          mm(makeConfig(), 3),
+          cg(&tree.create("app"))
+    {}
+
+    static mem::MemoryConfig
+    makeConfig()
+    {
+        mem::MemoryConfig config;
+        config.ramBytes = 64ull << 20; // 1024 pages
+        config.pageBytes = PAGE;
+        return config;
+    }
+
+    cgroup::CgroupTree tree;
+    backend::SsdDevice ssd;
+    backend::SwapBackend swap;
+    backend::FilesystemBackend fs;
+    backend::ZswapPool zswap;
+    mem::MemoryManager mm;
+    cgroup::Cgroup *cg;
+};
+
+} // namespace
+
+TEST_F(MemoryManagerTest, AttachInstallsReclaimHook)
+{
+    mm.attach(*cg, &swap, &fs);
+    // memory.reclaim now reaches the reclaimer (nothing resident yet).
+    EXPECT_EQ(cg->memoryReclaim(PAGE, 0), 0u);
+}
+
+TEST_F(MemoryManagerTest, UnattachedCgroupThrows)
+{
+    EXPECT_THROW(mm.memcgOf(*cg), std::invalid_argument);
+}
+
+TEST_F(MemoryManagerTest, AnonAllocationChargesCgroup)
+{
+    mm.attach(*cg, &swap, &fs);
+    mm.newPage(*cg, true, true, 0);
+    mm.newPage(*cg, true, true, 0);
+    EXPECT_EQ(cg->memCurrent(), 2ull * PAGE);
+    EXPECT_EQ(mm.ramUsed(), 2ull * PAGE);
+    const auto info = mm.info(*cg);
+    EXPECT_EQ(info.anonBytes, 2ull * PAGE);
+    EXPECT_EQ(info.fileBytes, 0u);
+}
+
+TEST_F(MemoryManagerTest, NonResidentAnonRejected)
+{
+    mm.attach(*cg, &swap, &fs);
+    EXPECT_THROW(mm.newPage(*cg, true, false, 0),
+                 std::invalid_argument);
+}
+
+TEST_F(MemoryManagerTest, FilePageCanStartOnDisk)
+{
+    mm.attach(*cg, &swap, &fs);
+    const auto idx = mm.newPage(*cg, false, false, 0);
+    EXPECT_EQ(cg->memCurrent(), 0u);
+    // First access is a cold read: IO stall only, no refault.
+    const auto result = mm.access(idx, sim::SEC);
+    EXPECT_TRUE(result.faulted);
+    EXPECT_FALSE(result.refault);
+    EXPECT_GT(result.ioStall, 0u);
+    EXPECT_EQ(result.memStall, 0u);
+    EXPECT_EQ(cg->memCurrent(), static_cast<std::uint64_t>(PAGE));
+    EXPECT_EQ(cg->stats().pgfilefault, 1u);
+}
+
+TEST_F(MemoryManagerTest, ResidentAccessIsFree)
+{
+    mm.attach(*cg, &swap, &fs);
+    const auto idx = mm.newPage(*cg, true, true, 0);
+    const auto result = mm.access(idx, sim::SEC);
+    EXPECT_FALSE(result.faulted);
+    EXPECT_EQ(result.memStall, 0u);
+    EXPECT_EQ(result.ioStall, 0u);
+}
+
+TEST_F(MemoryManagerTest, SecondTouchActivates)
+{
+    mm.attach(*cg, &swap, &fs);
+    const auto idx = mm.newPage(*cg, true, true, 0);
+    EXPECT_EQ(mm.pages()[idx].lru, mem::LruKind::INACTIVE_ANON);
+    mm.access(idx, sim::SEC);       // sets referenced
+    EXPECT_EQ(cg->stats().pgactivate, 0u);
+    mm.access(idx, 2 * sim::SEC);   // promotes
+    EXPECT_EQ(mm.pages()[idx].lru, mem::LruKind::ACTIVE_ANON);
+    EXPECT_EQ(cg->stats().pgactivate, 1u);
+}
+
+TEST_F(MemoryManagerTest, SwapOutAndSwapInSsd)
+{
+    mm.attach(*cg, &swap, &fs);
+    const auto idx = mm.newPage(*cg, true, true, 0);
+    const auto outcome = mm.reclaim(*cg, PAGE, sim::SEC);
+    EXPECT_EQ(outcome.reclaimedBytes, static_cast<std::uint64_t>(PAGE));
+    EXPECT_EQ(mm.pages()[idx].where, mem::Where::SWAP);
+    EXPECT_EQ(cg->memCurrent(), 0u);
+    EXPECT_EQ(cg->stats().pswpout, 1u);
+    EXPECT_EQ(swap.usedBytes(), static_cast<std::uint64_t>(PAGE));
+
+    // Fault back: memstall AND iostall (block device).
+    const auto result = mm.access(idx, 2 * sim::SEC);
+    EXPECT_TRUE(result.faulted);
+    EXPECT_GT(result.memStall, 0u);
+    EXPECT_GT(result.ioStall, 0u);
+    EXPECT_EQ(cg->stats().pswpin, 1u);
+    EXPECT_EQ(mm.pages()[idx].where, mem::Where::RAM);
+    EXPECT_EQ(swap.usedBytes(), 0u);
+    EXPECT_EQ(cg->memCurrent(), static_cast<std::uint64_t>(PAGE));
+}
+
+TEST_F(MemoryManagerTest, ZswapChargesCompressedBytes)
+{
+    mm.attach(*cg, &zswap, &fs, 4.0);
+    const auto idx = mm.newPage(*cg, true, true, 0);
+    mm.reclaim(*cg, PAGE, sim::SEC);
+    ASSERT_EQ(mm.pages()[idx].where, mem::Where::ZSWAP);
+    const auto stored = mm.pages()[idx].storedBytes;
+    EXPECT_GT(stored, 0u);
+    EXPECT_LT(stored, PAGE / 2);
+    // cgroup holds just the compressed copy; host RAM reflects the pool.
+    EXPECT_EQ(cg->memCurrent(), stored);
+    EXPECT_EQ(mm.ramUsed(), stored);
+    EXPECT_EQ(cg->stats().zswpout, 1u);
+
+    // zswap fault: memstall but NO block IO.
+    const auto result = mm.access(idx, 2 * sim::SEC);
+    EXPECT_GT(result.memStall, 0u);
+    EXPECT_EQ(result.ioStall, 0u);
+    EXPECT_EQ(cg->stats().zswpin, 1u);
+    EXPECT_EQ(cg->memCurrent(), static_cast<std::uint64_t>(PAGE));
+    EXPECT_EQ(zswap.usedBytes(), 0u);
+}
+
+TEST_F(MemoryManagerTest, FileEvictionSetsShadowAndRefaults)
+{
+    mm.attach(*cg, &swap, &fs);
+    const auto idx = mm.newPage(*cg, false, true, 0);
+    mm.reclaim(*cg, PAGE, sim::SEC);
+    EXPECT_EQ(mm.pages()[idx].where, mem::Where::FS);
+    EXPECT_GT(mm.pages()[idx].shadowAge, 0u);
+    EXPECT_EQ(cg->stats().pgfilesteal, 1u);
+
+    // Immediate re-read: reuse distance 0 <= workingset -> refault,
+    // counted as memory pressure.
+    const auto result = mm.access(idx, 2 * sim::SEC);
+    EXPECT_TRUE(result.refault);
+    EXPECT_GT(result.memStall, 0u);
+    EXPECT_GT(result.ioStall, 0u);
+    EXPECT_EQ(cg->stats().wsRefault, 1u);
+    // Refaulting working set is activated directly.
+    EXPECT_EQ(mm.pages()[idx].lru, mem::LruKind::ACTIVE_FILE);
+}
+
+TEST_F(MemoryManagerTest, DistantRefaultIsColdRead)
+{
+    mm.attach(*cg, &swap, &fs);
+    // Allocate a working set, evict one page, then cycle many other
+    // file pages through to push the reuse distance out.
+    const auto victim = mm.newPage(*cg, false, true, 0);
+    mm.reclaim(*cg, PAGE, sim::SEC); // evicts victim
+
+    for (int i = 0; i < 64; ++i) {
+        const auto idx = mm.newPage(*cg, false, true, sim::SEC);
+        mm.reclaim(*cg, PAGE, sim::SEC);
+        (void)idx;
+    }
+    // Reuse distance (64) > resident working set (0) -> not a refault.
+    const auto result = mm.access(victim, 2 * sim::SEC);
+    EXPECT_TRUE(result.faulted);
+    EXPECT_FALSE(result.refault);
+    EXPECT_EQ(result.memStall, 0u);
+}
+
+TEST_F(MemoryManagerTest, FreePageReleasesEverywhere)
+{
+    mm.attach(*cg, &zswap, &fs, 4.0);
+    const auto resident = mm.newPage(*cg, true, true, 0);
+    const auto compressed = mm.newPage(*cg, true, true, 0);
+    mm.access(resident, sim::SEC);
+    mm.access(resident, sim::SEC); // activate so reclaim takes the other
+    mm.reclaim(*cg, PAGE, sim::SEC);
+    ASSERT_EQ(mm.pages()[compressed].where, mem::Where::ZSWAP);
+
+    mm.freePage(resident);
+    mm.freePage(compressed);
+    EXPECT_EQ(cg->memCurrent(), 0u);
+    EXPECT_EQ(mm.ramUsed(), 0u);
+    EXPECT_EQ(zswap.usedBytes(), 0u);
+}
+
+TEST_F(MemoryManagerTest, MemoryLimitTriggersDirectReclaim)
+{
+    mm.attach(*cg, &swap, &fs);
+    cg->setMemMax(4 * PAGE);
+    for (int i = 0; i < 8; ++i)
+        mm.newPage(*cg, true, true, 0);
+    // Charge stayed at/below the limit thanks to direct reclaim.
+    EXPECT_LE(cg->memCurrent(), 4ull * PAGE);
+    EXPECT_GT(cg->stats().pswpout, 0u);
+}
+
+TEST_F(MemoryManagerTest, HostPressureTriggersGlobalReclaim)
+{
+    mm.attach(*cg, &swap, &fs);
+    const int total_pages = 1024; // == RAM capacity
+    for (int i = 0; i < total_pages + 64; ++i)
+        mm.newPage(*cg, true, true, 0);
+    EXPECT_LE(mm.ramUsed(), mm.ramCapacity());
+    EXPECT_GT(cg->stats().pswpout, 0u);
+    EXPECT_EQ(mm.oomEvents(), 0u);
+}
+
+TEST_F(MemoryManagerTest, FileOnlyModeNeverSwaps)
+{
+    mm.attach(*cg, nullptr, &fs); // TMO file-only deployment mode
+    for (int i = 0; i < 10; ++i) {
+        mm.newPage(*cg, true, true, 0);
+        mm.newPage(*cg, false, true, 0);
+    }
+    mm.reclaim(*cg, 5 * PAGE, sim::SEC);
+    EXPECT_EQ(cg->stats().pswpout, 0u);
+    EXPECT_GT(cg->stats().pgfilesteal, 0u);
+}
+
+TEST_F(MemoryManagerTest, KswapdMaintainsWatermark)
+{
+    mm.attach(*cg, &swap, &fs);
+    for (int i = 0; i < 1020; ++i)
+        mm.newPage(*cg, true, true, 0);
+    EXPECT_LT(mm.freeBytes(), static_cast<std::uint64_t>(
+                                  0.02 * 64 * (1 << 20)));
+    mm.kswapd(sim::SEC);
+    EXPECT_GE(mm.freeBytes(), static_cast<std::uint64_t>(
+                                  0.02 * 64 * (1 << 20)));
+}
+
+TEST_F(MemoryManagerTest, IdleBreakdownBucketsAges)
+{
+    mm.attach(*cg, &swap, &fs);
+    const auto now = 10 * sim::MINUTE;
+    const auto recent = mm.newPage(*cg, true, true, 0);
+    const auto warm = mm.newPage(*cg, true, true, 0);
+    const auto old = mm.newPage(*cg, true, true, 0);
+    mm.access(recent, now - 30 * sim::SEC);
+    mm.access(warm, now - 90 * sim::SEC);
+    mm.access(old, now - 8 * sim::MINUTE);
+
+    const auto breakdown = mm.idleBreakdown(*cg, now);
+    EXPECT_NEAR(breakdown.used1min, 1.0 / 3.0, 1e-9);
+    EXPECT_NEAR(breakdown.used2min, 1.0 / 3.0, 1e-9);
+    EXPECT_NEAR(breakdown.used5min, 0.0, 1e-9);
+    EXPECT_NEAR(breakdown.cold, 1.0 / 3.0, 1e-9);
+}
+
+TEST_F(MemoryManagerTest, SubtreeReclaimCoversDescendants)
+{
+    auto &parent = tree.create("parent");
+    auto &child_a = tree.create("a", &parent);
+    auto &child_b = tree.create("b", &parent);
+    mm.attach(child_a, &swap, &fs);
+    mm.attach(child_b, &swap, &fs);
+    for (int i = 0; i < 8; ++i) {
+        mm.newPage(child_a, true, true, 0);
+        mm.newPage(child_b, true, true, 0);
+    }
+    const auto outcome = mm.reclaim(parent, 8 * PAGE, sim::SEC);
+    EXPECT_GT(outcome.reclaimedBytes, 0u);
+    // Both children contributed.
+    EXPECT_GT(child_a.stats().pgsteal, 0u);
+    EXPECT_GT(child_b.stats().pgsteal, 0u);
+}
+
+TEST_F(MemoryManagerTest, SwitchAnonBackendAffectsNewEvictionsOnly)
+{
+    mm.attach(*cg, &swap, &fs);
+    const auto first = mm.newPage(*cg, true, true, 0);
+    mm.reclaim(*cg, PAGE, sim::SEC);
+    ASSERT_EQ(mm.pages()[first].where, mem::Where::SWAP);
+
+    mm.setAnonBackend(*cg, &zswap);
+    const auto second = mm.newPage(*cg, true, true, 2 * sim::SEC);
+    mm.reclaim(*cg, PAGE, 2 * sim::SEC);
+    EXPECT_EQ(mm.pages()[second].where, mem::Where::ZSWAP);
+}
+
+TEST_F(MemoryManagerTest, DoubleAttachRejected)
+{
+    mm.attach(*cg, &swap, &fs);
+    EXPECT_THROW(mm.attach(*cg, &zswap, &fs), std::invalid_argument);
+}

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for tasks, timeline replay, and the CPU contention model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cgroup/cgroup.hpp"
+#include "sched/cpu_model.hpp"
+#include "sched/task.hpp"
+
+using namespace tmo;
+
+TEST(TaskTest, StateTransitionsFeedPsi)
+{
+    cgroup::CgroupTree tree;
+    auto &cg = tree.create("app");
+    sched::Task task(cg, "worker");
+    task.setState(psi::TSK_MEMSTALL, 0);
+    task.setState(0, sim::SEC);
+    EXPECT_EQ(cg.psi().totalSome(psi::Resource::MEM, sim::SEC),
+              sim::SEC);
+}
+
+TEST(TaskTest, RedundantTransitionIsNoop)
+{
+    cgroup::CgroupTree tree;
+    auto &cg = tree.create("app");
+    sched::Task task(cg, "worker");
+    task.setState(psi::TSK_ONCPU, 0);
+    task.setState(psi::TSK_ONCPU, sim::SEC); // same state
+    EXPECT_EQ(task.state(), psi::TSK_ONCPU);
+    EXPECT_EQ(cg.psi().taskCount(psi::TSK_ONCPU), 1u);
+}
+
+TEST(TaskTest, DestructorClearsCounts)
+{
+    cgroup::CgroupTree tree;
+    auto &cg = tree.create("app");
+    {
+        sched::Task task(cg, "worker");
+        task.setState(psi::TSK_MEMSTALL, sim::SEC);
+    }
+    EXPECT_EQ(cg.psi().taskCount(psi::TSK_MEMSTALL), 0u);
+}
+
+TEST(TaskTest, CombinedStateBits)
+{
+    cgroup::CgroupTree tree;
+    auto &cg = tree.create("app");
+    sched::Task task(cg, "worker");
+    task.setState(psi::TSK_MEMSTALL | psi::TSK_IOWAIT, 0);
+    EXPECT_EQ(cg.psi().taskCount(psi::TSK_MEMSTALL), 1u);
+    EXPECT_EQ(cg.psi().taskCount(psi::TSK_IOWAIT), 1u);
+    task.setState(psi::TSK_IOWAIT, sim::SEC);
+    EXPECT_EQ(cg.psi().taskCount(psi::TSK_MEMSTALL), 0u);
+    EXPECT_EQ(cg.psi().taskCount(psi::TSK_IOWAIT), 1u);
+    task.setState(0, 2 * sim::SEC);
+}
+
+TEST(ReplayTest, SingleTaskSegments)
+{
+    cgroup::CgroupTree tree;
+    auto &cg = tree.create("app");
+    sched::Task task(cg, "worker");
+
+    std::vector<sched::TaskTimeline> timelines(1);
+    timelines[0].task = &task;
+    timelines[0].segments = {
+        {0, 200 * sim::MSEC, psi::TSK_ONCPU},
+        {200 * sim::MSEC, 300 * sim::MSEC, psi::TSK_MEMSTALL},
+    };
+    sched::replayTimelines(timelines, sim::SEC);
+
+    EXPECT_EQ(cg.psi().totalSome(psi::Resource::MEM, sim::SEC),
+              300 * sim::MSEC);
+    EXPECT_EQ(task.state(), 0u); // left idle at tick end
+}
+
+TEST(ReplayTest, UnsortedSegmentsAreSorted)
+{
+    cgroup::CgroupTree tree;
+    auto &cg = tree.create("app");
+    sched::Task task(cg, "worker");
+
+    std::vector<sched::TaskTimeline> timelines(1);
+    timelines[0].task = &task;
+    timelines[0].segments = {
+        {500 * sim::MSEC, 100 * sim::MSEC, psi::TSK_IOWAIT},
+        {100 * sim::MSEC, 100 * sim::MSEC, psi::TSK_MEMSTALL},
+    };
+    sched::replayTimelines(timelines, sim::SEC);
+    EXPECT_EQ(cg.psi().totalSome(psi::Resource::MEM, sim::SEC),
+              100 * sim::MSEC);
+    EXPECT_EQ(cg.psi().totalSome(psi::Resource::IO, sim::SEC),
+              100 * sim::MSEC);
+}
+
+TEST(ReplayTest, OverlappingStallsAcrossTasksMakeFull)
+{
+    cgroup::CgroupTree tree;
+    auto &cg = tree.create("app");
+    sched::Task a(cg, "a"), b(cg, "b");
+
+    // Both tasks stall [100, 300) ms: some == full == 200 ms.
+    std::vector<sched::TaskTimeline> timelines(2);
+    timelines[0].task = &a;
+    timelines[0].segments = {
+        {100 * sim::MSEC, 200 * sim::MSEC, psi::TSK_MEMSTALL}};
+    timelines[1].task = &b;
+    timelines[1].segments = {
+        {100 * sim::MSEC, 200 * sim::MSEC, psi::TSK_MEMSTALL}};
+    sched::replayTimelines(timelines, sim::SEC);
+
+    EXPECT_EQ(cg.psi().totalSome(psi::Resource::MEM, sim::SEC),
+              200 * sim::MSEC);
+    EXPECT_EQ(cg.psi().totalFull(psi::Resource::MEM, sim::SEC),
+              200 * sim::MSEC);
+}
+
+TEST(ReplayTest, DisjointStallsAreSomeNotFull)
+{
+    cgroup::CgroupTree tree;
+    auto &cg = tree.create("app");
+    sched::Task a(cg, "a"), b(cg, "b");
+
+    std::vector<sched::TaskTimeline> timelines(2);
+    timelines[0].task = &a;
+    timelines[0].segments = {
+        {0, 200 * sim::MSEC, psi::TSK_MEMSTALL},
+        {200 * sim::MSEC, 800 * sim::MSEC, psi::TSK_ONCPU}};
+    timelines[1].task = &b;
+    timelines[1].segments = {
+        {0, 200 * sim::MSEC, psi::TSK_ONCPU},
+        {200 * sim::MSEC, 200 * sim::MSEC, psi::TSK_MEMSTALL},
+        {400 * sim::MSEC, 600 * sim::MSEC, psi::TSK_ONCPU}};
+    sched::replayTimelines(timelines, sim::SEC);
+
+    EXPECT_EQ(cg.psi().totalSome(psi::Resource::MEM, sim::SEC),
+              400 * sim::MSEC);
+    EXPECT_EQ(cg.psi().totalFull(psi::Resource::MEM, sim::SEC), 0u);
+}
+
+TEST(CpuModelTest, UndersubscribedRunsEverything)
+{
+    const std::vector<sim::SimTime> demands = {
+        100 * sim::MSEC, 200 * sim::MSEC};
+    const auto shares = sched::allocateCpu(demands, 4, sim::SEC);
+    EXPECT_EQ(shares[0].run, 100 * sim::MSEC);
+    EXPECT_EQ(shares[1].run, 200 * sim::MSEC);
+    EXPECT_EQ(shares[0].wait, 0u);
+    EXPECT_EQ(shares[1].wait, 0u);
+}
+
+TEST(CpuModelTest, OversubscribedScalesAndWaits)
+{
+    // 4 tasks wanting the full tick on 2 CPUs: each runs half, waits
+    // half.
+    const std::vector<sim::SimTime> demands(4, sim::SEC);
+    const auto shares = sched::allocateCpu(demands, 2, sim::SEC);
+    for (const auto &s : shares) {
+        EXPECT_EQ(s.run, sim::SEC / 2);
+        EXPECT_EQ(s.wait, sim::SEC / 2);
+    }
+}
+
+TEST(CpuModelTest, DemandCappedAtTick)
+{
+    const std::vector<sim::SimTime> demands = {10 * sim::SEC};
+    const auto shares = sched::allocateCpu(demands, 1, sim::SEC);
+    EXPECT_EQ(shares[0].run, sim::SEC);
+    EXPECT_EQ(shares[0].wait, 0u);
+}
+
+TEST(CpuModelTest, EmptyAndZeroCpus)
+{
+    EXPECT_TRUE(sched::allocateCpu({}, 4, sim::SEC).empty());
+    const auto shares =
+        sched::allocateCpu({sim::SEC}, 0, sim::SEC);
+    EXPECT_EQ(shares[0].run, 0u);
+}
+
+TEST(CpuModelTest, RunPlusWaitNeverExceedsTick)
+{
+    const std::vector<sim::SimTime> demands = {
+        900 * sim::MSEC, 800 * sim::MSEC, sim::SEC};
+    const auto shares = sched::allocateCpu(demands, 1, sim::SEC);
+    for (const auto &s : shares)
+        EXPECT_LE(s.run + s.wait, sim::SEC);
+}

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Unit tests for the stats module: EWMA, rate meters, histograms,
+ * time series, quantiles and formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/ewma.hpp"
+#include "stats/histogram.hpp"
+#include "stats/table.hpp"
+#include "stats/timeseries.hpp"
+
+using namespace tmo;
+
+TEST(EwmaTest, FirstSampleInitializes)
+{
+    stats::Ewma e(10 * sim::SEC);
+    EXPECT_FALSE(e.initialized());
+    EXPECT_DOUBLE_EQ(e.value(), 0.0);
+    e.update(5.0, sim::SEC);
+    EXPECT_TRUE(e.initialized());
+    EXPECT_DOUBLE_EQ(e.value(), 5.0);
+}
+
+TEST(EwmaTest, DecaysTowardsNewSamples)
+{
+    stats::Ewma e(10 * sim::SEC);
+    e.update(0.0, 0);
+    e.update(100.0, 10 * sim::SEC); // exactly one half life
+    EXPECT_NEAR(e.value(), 50.0, 1e-9);
+    e.update(100.0, 20 * sim::SEC);
+    EXPECT_NEAR(e.value(), 75.0, 1e-9);
+}
+
+TEST(EwmaTest, LongGapConverges)
+{
+    stats::Ewma e(sim::SEC);
+    e.update(0.0, 0);
+    e.update(42.0, 100 * sim::SEC);
+    EXPECT_NEAR(e.value(), 42.0, 1e-6);
+}
+
+TEST(EwmaTest, ResetForgets)
+{
+    stats::Ewma e(sim::SEC);
+    e.update(10.0, 0);
+    e.reset();
+    EXPECT_FALSE(e.initialized());
+    EXPECT_DOUBLE_EQ(e.value(), 0.0);
+}
+
+TEST(RateMeterTest, SteadyRate)
+{
+    stats::RateMeter meter(sim::SEC, 5 * sim::SEC);
+    for (int s = 0; s < 60; ++s)
+        meter.add(100.0, s * sim::SEC);
+    EXPECT_NEAR(meter.rate(60 * sim::SEC), 100.0, 2.0);
+    EXPECT_DOUBLE_EQ(meter.total(), 6000.0);
+}
+
+TEST(RateMeterTest, RateDropsWhenIdle)
+{
+    stats::RateMeter meter(sim::SEC, 2 * sim::SEC);
+    for (int s = 0; s < 10; ++s)
+        meter.add(100.0, s * sim::SEC);
+    const double busy = meter.rate(10 * sim::SEC);
+    const double idle = meter.rate(60 * sim::SEC);
+    EXPECT_GT(busy, 50.0);
+    EXPECT_LT(idle, 1.0);
+}
+
+TEST(HistogramTest, EmptyQuantiles)
+{
+    stats::Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue)
+{
+    stats::Histogram h(1.0, 1e6);
+    h.add(1000.0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_NEAR(h.p50(), 1000.0, 150.0); // bucket resolution
+    EXPECT_DOUBLE_EQ(h.mean(), 1000.0);
+    EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+}
+
+TEST(HistogramTest, PercentileOrdering)
+{
+    stats::Histogram h(1.0, 1e6);
+    for (int i = 1; i <= 10000; ++i)
+        h.add(static_cast<double>(i));
+    EXPECT_LE(h.p50(), h.p90());
+    EXPECT_LE(h.p90(), h.p99());
+    EXPECT_NEAR(h.p50(), 5000.0, 700.0);
+    EXPECT_NEAR(h.p99(), 9900.0, 1300.0);
+}
+
+TEST(HistogramTest, OutOfRangeClamped)
+{
+    stats::Histogram h(10.0, 1000.0);
+    h.add(0.5);    // below range
+    h.add(1e9);    // above range
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_GT(h.quantile(1.0), 0.0);
+}
+
+TEST(HistogramTest, ResetClears)
+{
+    stats::Histogram h;
+    h.add(5.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(TimeSeriesTest, Reductions)
+{
+    stats::TimeSeries ts("x");
+    ts.record(0, 1.0);
+    ts.record(sim::SEC, 3.0);
+    ts.record(2 * sim::SEC, 5.0);
+    EXPECT_EQ(ts.size(), 3u);
+    EXPECT_DOUBLE_EQ(ts.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(ts.min(), 1.0);
+    EXPECT_DOUBLE_EQ(ts.max(), 5.0);
+    EXPECT_DOUBLE_EQ(ts.last(), 5.0);
+}
+
+TEST(TimeSeriesTest, MeanBetween)
+{
+    stats::TimeSeries ts;
+    for (int s = 0; s < 10; ++s)
+        ts.record(s * sim::SEC, static_cast<double>(s));
+    EXPECT_DOUBLE_EQ(ts.meanBetween(2 * sim::SEC, 5 * sim::SEC), 3.0);
+    EXPECT_DOUBLE_EQ(ts.meanBetween(100 * sim::SEC, 200 * sim::SEC), 0.0);
+}
+
+TEST(TimeSeriesTest, EmptyIsSafe)
+{
+    stats::TimeSeries ts;
+    EXPECT_TRUE(ts.empty());
+    EXPECT_DOUBLE_EQ(ts.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(ts.quantile(0.5), 0.0);
+}
+
+TEST(QuantileTest, ExactQuantiles)
+{
+    std::vector<double> v = {5, 1, 4, 2, 3};
+    EXPECT_DOUBLE_EQ(stats::exactQuantile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(stats::exactQuantile(v, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(stats::exactQuantile(v, 1.0), 5.0);
+    EXPECT_DOUBLE_EQ(stats::exactQuantile(v, 0.25), 2.0);
+}
+
+TEST(QuantileTest, Interpolates)
+{
+    std::vector<double> v = {0.0, 10.0};
+    EXPECT_DOUBLE_EQ(stats::exactQuantile(v, 0.5), 5.0);
+    EXPECT_DOUBLE_EQ(stats::exactQuantile(v, 0.9), 9.0);
+}
+
+TEST(TableTest, PrintsAlignedColumns)
+{
+    stats::Table t("demo");
+    t.setHeader({"a", "bb"});
+    t.addRow({"1", "2"});
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("a"), std::string::npos);
+    EXPECT_NE(out.find("1"), std::string::npos);
+}
+
+TEST(TableTest, RowWidthMismatchThrows)
+{
+    stats::Table t;
+    t.setHeader({"a", "b"});
+    EXPECT_THROW(t.addRow({"only one"}), std::invalid_argument);
+}
+
+TEST(TableTest, CsvFormat)
+{
+    stats::Table t;
+    t.setHeader({"x", "y"});
+    t.addRow({"1", "2"});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_EQ(oss.str(), "x,y\n1,2\n");
+}
+
+TEST(FormatTest, Helpers)
+{
+    EXPECT_EQ(stats::fmt(1.2345, 2), "1.23");
+    EXPECT_EQ(stats::fmtPercent(0.1234, 1), "12.3%");
+    EXPECT_EQ(stats::fmtBytes(1536.0 * 1024 * 1024), "1.50 GiB");
+    EXPECT_EQ(stats::fmtBytes(512.0), "512.0 B");
+}
+
+TEST(SeriesPrintTest, AlignedCsvColumns)
+{
+    stats::TimeSeries a("alpha"), b("beta");
+    a.record(0, 1.0);
+    a.record(sim::SEC, 2.0);
+    b.record(0, 3.0);
+    b.record(sim::SEC, 4.0);
+    std::ostringstream oss;
+    stats::printSeries(oss, {&a, &b}, 1);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("time_s,alpha,beta"), std::string::npos);
+    EXPECT_NE(out.find("0.0,1.0,3.0"), std::string::npos);
+    EXPECT_NE(out.find("1.0,2.0,4.0"), std::string::npos);
+}
+
+TEST(SeriesPrintTest, EmptyInputIsSafe)
+{
+    std::ostringstream oss;
+    stats::printSeries(oss, {});
+    EXPECT_TRUE(oss.str().empty());
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Unit tests for sim/time.hpp conversions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/time.hpp"
+
+using namespace tmo;
+
+TEST(TimeTest, UnitRelations)
+{
+    EXPECT_EQ(sim::USEC, 1000u);
+    EXPECT_EQ(sim::MSEC, 1000u * sim::USEC);
+    EXPECT_EQ(sim::SEC, 1000u * sim::MSEC);
+    EXPECT_EQ(sim::MINUTE, 60u * sim::SEC);
+    EXPECT_EQ(sim::HOUR, 60u * sim::MINUTE);
+    EXPECT_EQ(sim::DAY, 24u * sim::HOUR);
+}
+
+TEST(TimeTest, ToSeconds)
+{
+    EXPECT_DOUBLE_EQ(sim::toSeconds(sim::SEC), 1.0);
+    EXPECT_DOUBLE_EQ(sim::toSeconds(500 * sim::MSEC), 0.5);
+    EXPECT_DOUBLE_EQ(sim::toSeconds(0), 0.0);
+}
+
+TEST(TimeTest, ToUsec)
+{
+    EXPECT_DOUBLE_EQ(sim::toUsec(sim::USEC), 1.0);
+    EXPECT_DOUBLE_EQ(sim::toUsec(sim::SEC), 1e6);
+}
+
+TEST(TimeTest, FromSecondsRoundTrip)
+{
+    EXPECT_EQ(sim::fromSeconds(1.0), sim::SEC);
+    EXPECT_EQ(sim::fromSeconds(0.001), sim::MSEC);
+    EXPECT_DOUBLE_EQ(sim::toSeconds(sim::fromSeconds(12.5)), 12.5);
+}
+
+TEST(TimeTest, FromSecondsSaturatesAtZero)
+{
+    EXPECT_EQ(sim::fromSeconds(-1.0), 0u);
+    EXPECT_EQ(sim::fromUsec(-5.0), 0u);
+}
+
+TEST(TimeTest, FromUsec)
+{
+    EXPECT_EQ(sim::fromUsec(1.0), sim::USEC);
+    EXPECT_EQ(sim::fromUsec(2.5), 2500u);
+}

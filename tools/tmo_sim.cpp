@@ -1,0 +1,238 @@
+/**
+ * @file
+ * tmo_sim — command-line scenario driver.
+ *
+ * Runs one workload on one simulated host under a chosen offload
+ * backend and controller, printing a per-minute series and a final
+ * summary. Handy for exploring configurations without writing code:
+ *
+ *   tmo_sim --app web --backend zswap --controller senpai --minutes 60
+ *   tmo_sim --app ads_b --backend ssd --ssd-class B --csv
+ *
+ * Flags (defaults in brackets):
+ *   --app NAME           workload preset [feed]
+ *   --footprint-mb N     workload footprint [1024]
+ *   --ram-mb N           host DRAM [2048]
+ *   --backend B          none|ssd|zswap|nvm|cxl|tiered [zswap]
+ *   --ssd-class C        SSD device class A-G [C]
+ *   --controller C       none|senpai|senpai-aggressive|gswap [senpai]
+ *   --psi-threshold F    Senpai pressure target override
+ *   --minutes N          simulated duration [60]
+ *   --seed N             RNG seed [42]
+ *   --csv                machine-readable series output
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "baseline/gswap.hpp"
+#include "core/senpai.hpp"
+#include "host/host.hpp"
+#include "stats/table.hpp"
+#include "workload/app_profile.hpp"
+
+using namespace tmo;
+
+namespace
+{
+
+struct Options {
+    std::string app = "feed";
+    std::uint64_t footprintMb = 1024;
+    std::uint64_t ramMb = 2048;
+    std::string backend = "zswap";
+    char ssdClass = 'C';
+    std::string controller = "senpai";
+    double psiThreshold = 0.0; // 0 = keep the config default
+    int minutes = 60;
+    std::uint64_t seed = 42;
+    bool csv = false;
+};
+
+void
+usage()
+{
+    std::cerr
+        << "usage: tmo_sim [--app NAME] [--footprint-mb N] "
+           "[--ram-mb N]\n"
+           "               [--backend none|ssd|zswap|nvm|cxl|tiered] "
+           "[--ssd-class A-G]\n"
+           "               [--controller "
+           "none|senpai|senpai-aggressive|gswap]\n"
+           "               [--psi-threshold F] [--minutes N] "
+           "[--seed N] [--csv]\n";
+}
+
+bool
+parse(int argc, char **argv, Options &options)
+{
+    auto need_value = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::cerr << "missing value for " << argv[i] << "\n";
+            return nullptr;
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        const char *value = nullptr;
+        if (flag == "--csv") {
+            options.csv = true;
+        } else if (flag == "--help" || flag == "-h") {
+            return false;
+        } else if ((value = need_value(i)) == nullptr) {
+            return false;
+        } else if (flag == "--app") {
+            options.app = value;
+        } else if (flag == "--footprint-mb") {
+            options.footprintMb = std::stoull(value);
+        } else if (flag == "--ram-mb") {
+            options.ramMb = std::stoull(value);
+        } else if (flag == "--backend") {
+            options.backend = value;
+        } else if (flag == "--ssd-class") {
+            options.ssdClass = value[0];
+        } else if (flag == "--controller") {
+            options.controller = value;
+        } else if (flag == "--psi-threshold") {
+            options.psiThreshold = std::stod(value);
+        } else if (flag == "--minutes") {
+            options.minutes = std::stoi(value);
+        } else if (flag == "--seed") {
+            options.seed = std::stoull(value);
+        } else {
+            std::cerr << "unknown flag: " << flag << "\n";
+            return false;
+        }
+    }
+    return true;
+}
+
+host::AnonMode
+backendMode(const std::string &name)
+{
+    if (name == "none")
+        return host::AnonMode::NONE;
+    if (name == "ssd")
+        return host::AnonMode::SWAP_SSD;
+    if (name == "zswap")
+        return host::AnonMode::ZSWAP;
+    if (name == "nvm" || name == "cxl")
+        return host::AnonMode::NVM;
+    if (name == "tiered")
+        return host::AnonMode::TIERED;
+    throw std::invalid_argument("unknown backend: " + name);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options options;
+    if (!parse(argc, argv, options)) {
+        usage();
+        return 2;
+    }
+
+    sim::Simulation simulation;
+    host::HostConfig config;
+    config.mem.ramBytes = options.ramMb << 20;
+    config.mem.pageBytes = 64 * 1024;
+    config.ssdClass = options.ssdClass;
+    config.nvmPreset = options.backend == "cxl" ? "cxl-dram" : "optane";
+    config.seed = options.seed;
+
+    host::Host machine(simulation, config, "cli");
+    workload::AppProfile profile;
+    try {
+        profile =
+            workload::appPreset(options.app, options.footprintMb << 20);
+    } catch (const std::invalid_argument &) {
+        profile = workload::sidecarPreset(options.app,
+                                          options.footprintMb << 20);
+    }
+    auto &app = machine.addApp(profile, backendMode(options.backend));
+    machine.start();
+    app.start();
+
+    std::unique_ptr<core::Senpai> senpai;
+    std::unique_ptr<baseline::GswapController> gswap;
+    if (options.controller == "senpai" ||
+        options.controller == "senpai-aggressive") {
+        auto sc = options.controller == "senpai"
+                      ? core::senpaiProductionConfig()
+                      : core::senpaiAggressiveConfig();
+        sc.source = core::PressureSource::AVG60;
+        if (options.psiThreshold > 0.0)
+            sc.psiThreshold = options.psiThreshold;
+        senpai = std::make_unique<core::Senpai>(
+            simulation, machine.memory(), app.cgroup(), sc);
+        senpai->start();
+    } else if (options.controller == "gswap") {
+        gswap = std::make_unique<baseline::GswapController>(
+            simulation, machine.memory(), app.cgroup());
+        gswap->start();
+    } else if (options.controller != "none") {
+        std::cerr << "unknown controller: " << options.controller
+                  << "\n";
+        return 2;
+    }
+
+    if (options.csv) {
+        std::cout << "minute,resident_mb,savings_pct,rps,"
+                     "mem_psi_avg60,io_psi_avg60,swapins,refaults\n";
+    }
+    for (int minute = 1; minute <= options.minutes; ++minute) {
+        simulation.runUntil(static_cast<sim::SimTime>(minute) *
+                            sim::MINUTE);
+        if (!options.csv && minute % 10 != 0)
+            continue;
+        const double resident_mb =
+            static_cast<double>(app.cgroup().memCurrent()) / (1 << 20);
+        const double savings =
+            app.allocatedBytes()
+                ? 100.0 * (1.0 -
+                           static_cast<double>(app.cgroup().memCurrent()) /
+                               static_cast<double>(app.allocatedBytes()))
+                : 0.0;
+        const auto mem = app.cgroup().psi().some(psi::Resource::MEM);
+        const auto io = app.cgroup().psi().some(psi::Resource::IO);
+        std::cout << minute << "," << stats::fmt(resident_mb, 1) << ","
+                  << stats::fmt(savings, 2) << ","
+                  << stats::fmt(app.lastTick().completedRps, 0) << ","
+                  << stats::fmt(mem.avg60 * 100, 4) << ","
+                  << stats::fmt(io.avg60 * 100, 4) << ","
+                  << app.cgroup().stats().pswpin << ","
+                  << app.cgroup().stats().wsRefault << "\n";
+    }
+
+    if (!options.csv) {
+        const auto info = machine.memory().info(app.cgroup());
+        stats::Table table("summary");
+        table.setHeader({"metric", "value"});
+        table.addRow({"app", options.app});
+        table.addRow({"backend", options.backend});
+        table.addRow({"controller", options.controller});
+        table.addRow({"allocated", stats::fmtBytes(static_cast<double>(
+                                       app.allocatedBytes()))});
+        table.addRow({"resident (DRAM)",
+                      stats::fmtBytes(static_cast<double>(
+                          info.residentBytes + info.zswapBytes))});
+        table.addRow({"zswap pool", stats::fmtBytes(static_cast<double>(
+                                        info.zswapBytes))});
+        table.addRow({"swap/nvm used",
+                      stats::fmtBytes(
+                          static_cast<double>(info.swapBytes))});
+        table.addRow({"ssd bytes written",
+                      stats::fmtBytes(static_cast<double>(
+                          machine.ssd().bytesWritten()))});
+        table.addRow({"oom events",
+                      std::to_string(machine.memory().oomEvents())});
+        table.print(std::cout);
+    }
+    return 0;
+}
