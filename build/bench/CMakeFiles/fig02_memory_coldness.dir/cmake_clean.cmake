@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_memory_coldness.dir/fig02_memory_coldness.cpp.o"
+  "CMakeFiles/fig02_memory_coldness.dir/fig02_memory_coldness.cpp.o.d"
+  "fig02_memory_coldness"
+  "fig02_memory_coldness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_memory_coldness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

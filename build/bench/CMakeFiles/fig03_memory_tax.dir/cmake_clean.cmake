@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_memory_tax.dir/fig03_memory_tax.cpp.o"
+  "CMakeFiles/fig03_memory_tax.dir/fig03_memory_tax.cpp.o.d"
+  "fig03_memory_tax"
+  "fig03_memory_tax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_memory_tax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

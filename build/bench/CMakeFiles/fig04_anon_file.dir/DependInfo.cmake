@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig04_anon_file.cpp" "bench/CMakeFiles/fig04_anon_file.dir/fig04_anon_file.cpp.o" "gcc" "bench/CMakeFiles/fig04_anon_file.dir/fig04_anon_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tmo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/tmo_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/tmo_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tmo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tmo_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/tmo_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgroup/CMakeFiles/tmo_cgroup.dir/DependInfo.cmake"
+  "/root/repo/build/src/psi/CMakeFiles/tmo_psi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tmo_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tmo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tmo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/tmo_costmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_anon_file.dir/fig04_anon_file.cpp.o"
+  "CMakeFiles/fig04_anon_file.dir/fig04_anon_file.cpp.o.d"
+  "fig04_anon_file"
+  "fig04_anon_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_anon_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

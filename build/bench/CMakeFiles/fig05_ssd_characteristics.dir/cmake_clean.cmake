@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_ssd_characteristics.dir/fig05_ssd_characteristics.cpp.o"
+  "CMakeFiles/fig05_ssd_characteristics.dir/fig05_ssd_characteristics.cpp.o.d"
+  "fig05_ssd_characteristics"
+  "fig05_ssd_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_ssd_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_psi_example.dir/fig07_psi_example.cpp.o"
+  "CMakeFiles/fig07_psi_example.dir/fig07_psi_example.cpp.o.d"
+  "fig07_psi_example"
+  "fig07_psi_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_psi_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_senpai_dynamics.dir/fig08_senpai_dynamics.cpp.o"
+  "CMakeFiles/fig08_senpai_dynamics.dir/fig08_senpai_dynamics.cpp.o.d"
+  "fig08_senpai_dynamics"
+  "fig08_senpai_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_senpai_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_tax_savings.dir/fig10_tax_savings.cpp.o"
+  "CMakeFiles/fig10_tax_savings.dir/fig10_tax_savings.cpp.o.d"
+  "fig10_tax_savings"
+  "fig10_tax_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tax_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_web_memorybound.dir/fig11_web_memorybound.cpp.o"
+  "CMakeFiles/fig11_web_memorybound.dir/fig11_web_memorybound.cpp.o.d"
+  "fig11_web_memorybound"
+  "fig11_web_memorybound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_web_memorybound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

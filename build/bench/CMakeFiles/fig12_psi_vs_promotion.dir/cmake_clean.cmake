@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_psi_vs_promotion.dir/fig12_psi_vs_promotion.cpp.o"
+  "CMakeFiles/fig12_psi_vs_promotion.dir/fig12_psi_vs_promotion.cpp.o.d"
+  "fig12_psi_vs_promotion"
+  "fig12_psi_vs_promotion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_psi_vs_promotion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_config_tuning.dir/fig13_config_tuning.cpp.o"
+  "CMakeFiles/fig13_config_tuning.dir/fig13_config_tuning.cpp.o.d"
+  "fig13_config_tuning"
+  "fig13_config_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_config_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

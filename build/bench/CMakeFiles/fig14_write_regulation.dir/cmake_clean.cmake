@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_write_regulation.dir/fig14_write_regulation.cpp.o"
+  "CMakeFiles/fig14_write_regulation.dir/fig14_write_regulation.cpp.o.d"
+  "fig14_write_regulation"
+  "fig14_write_regulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_write_regulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

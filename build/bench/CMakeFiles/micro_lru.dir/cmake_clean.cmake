@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_lru.dir/micro_lru.cpp.o"
+  "CMakeFiles/micro_lru.dir/micro_lru.cpp.o.d"
+  "micro_lru"
+  "micro_lru.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_lru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

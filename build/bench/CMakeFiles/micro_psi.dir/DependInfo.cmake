@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_psi.cpp" "bench/CMakeFiles/micro_psi.dir/micro_psi.cpp.o" "gcc" "bench/CMakeFiles/micro_psi.dir/micro_psi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/tmo_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/tmo_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgroup/CMakeFiles/tmo_cgroup.dir/DependInfo.cmake"
+  "/root/repo/build/src/psi/CMakeFiles/tmo_psi.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tmo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tmo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

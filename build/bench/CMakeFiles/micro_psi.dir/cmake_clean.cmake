@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_psi.dir/micro_psi.cpp.o"
+  "CMakeFiles/micro_psi.dir/micro_psi.cpp.o.d"
+  "micro_psi"
+  "micro_psi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_psi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_future_backends.dir/tab_future_backends.cpp.o"
+  "CMakeFiles/tab_future_backends.dir/tab_future_backends.cpp.o.d"
+  "tab_future_backends"
+  "tab_future_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_future_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_gswap_vs_tmo.dir/tab_gswap_vs_tmo.cpp.o"
+  "CMakeFiles/tab_gswap_vs_tmo.dir/tab_gswap_vs_tmo.cpp.o.d"
+  "tab_gswap_vs_tmo"
+  "tab_gswap_vs_tmo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_gswap_vs_tmo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

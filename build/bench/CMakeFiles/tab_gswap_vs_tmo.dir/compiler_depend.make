@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab_gswap_vs_tmo.
+# This may be replaced when dependencies are built.

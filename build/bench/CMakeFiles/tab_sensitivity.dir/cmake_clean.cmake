@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_sensitivity.dir/tab_sensitivity.cpp.o"
+  "CMakeFiles/tab_sensitivity.dir/tab_sensitivity.cpp.o.d"
+  "tab_sensitivity"
+  "tab_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_zswap_selection.dir/tab_zswap_selection.cpp.o"
+  "CMakeFiles/tab_zswap_selection.dir/tab_zswap_selection.cpp.o.d"
+  "tab_zswap_selection"
+  "tab_zswap_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_zswap_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

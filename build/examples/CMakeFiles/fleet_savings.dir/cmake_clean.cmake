@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_savings.dir/fleet_savings.cpp.o"
+  "CMakeFiles/fleet_savings.dir/fleet_savings.cpp.o.d"
+  "fleet_savings"
+  "fleet_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_rightsizing.dir/trace_rightsizing.cpp.o"
+  "CMakeFiles/trace_rightsizing.dir/trace_rightsizing.cpp.o.d"
+  "trace_rightsizing"
+  "trace_rightsizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_rightsizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

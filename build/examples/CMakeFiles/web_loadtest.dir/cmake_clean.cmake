@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_loadtest.dir/web_loadtest.cpp.o"
+  "CMakeFiles/web_loadtest.dir/web_loadtest.cpp.o.d"
+  "web_loadtest"
+  "web_loadtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_loadtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

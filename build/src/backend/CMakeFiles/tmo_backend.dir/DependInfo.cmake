@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backend/filesystem.cpp" "src/backend/CMakeFiles/tmo_backend.dir/filesystem.cpp.o" "gcc" "src/backend/CMakeFiles/tmo_backend.dir/filesystem.cpp.o.d"
+  "/root/repo/src/backend/nvm.cpp" "src/backend/CMakeFiles/tmo_backend.dir/nvm.cpp.o" "gcc" "src/backend/CMakeFiles/tmo_backend.dir/nvm.cpp.o.d"
+  "/root/repo/src/backend/ssd.cpp" "src/backend/CMakeFiles/tmo_backend.dir/ssd.cpp.o" "gcc" "src/backend/CMakeFiles/tmo_backend.dir/ssd.cpp.o.d"
+  "/root/repo/src/backend/swap_backend.cpp" "src/backend/CMakeFiles/tmo_backend.dir/swap_backend.cpp.o" "gcc" "src/backend/CMakeFiles/tmo_backend.dir/swap_backend.cpp.o.d"
+  "/root/repo/src/backend/zswap.cpp" "src/backend/CMakeFiles/tmo_backend.dir/zswap.cpp.o" "gcc" "src/backend/CMakeFiles/tmo_backend.dir/zswap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tmo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tmo_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

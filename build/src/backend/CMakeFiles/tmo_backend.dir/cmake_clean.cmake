@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmo_backend.dir/filesystem.cpp.o"
+  "CMakeFiles/tmo_backend.dir/filesystem.cpp.o.d"
+  "CMakeFiles/tmo_backend.dir/nvm.cpp.o"
+  "CMakeFiles/tmo_backend.dir/nvm.cpp.o.d"
+  "CMakeFiles/tmo_backend.dir/ssd.cpp.o"
+  "CMakeFiles/tmo_backend.dir/ssd.cpp.o.d"
+  "CMakeFiles/tmo_backend.dir/swap_backend.cpp.o"
+  "CMakeFiles/tmo_backend.dir/swap_backend.cpp.o.d"
+  "CMakeFiles/tmo_backend.dir/zswap.cpp.o"
+  "CMakeFiles/tmo_backend.dir/zswap.cpp.o.d"
+  "libtmo_backend.a"
+  "libtmo_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmo_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

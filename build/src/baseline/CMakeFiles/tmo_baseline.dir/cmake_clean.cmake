@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmo_baseline.dir/gswap.cpp.o"
+  "CMakeFiles/tmo_baseline.dir/gswap.cpp.o.d"
+  "libtmo_baseline.a"
+  "libtmo_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmo_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmo_cgroup.dir/cgroup.cpp.o"
+  "CMakeFiles/tmo_cgroup.dir/cgroup.cpp.o.d"
+  "libtmo_cgroup.a"
+  "libtmo_cgroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmo_cgroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

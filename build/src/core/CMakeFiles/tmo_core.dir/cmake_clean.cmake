@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmo_core.dir/oomd_lite.cpp.o"
+  "CMakeFiles/tmo_core.dir/oomd_lite.cpp.o.d"
+  "CMakeFiles/tmo_core.dir/senpai.cpp.o"
+  "CMakeFiles/tmo_core.dir/senpai.cpp.o.d"
+  "CMakeFiles/tmo_core.dir/tmo_daemon.cpp.o"
+  "CMakeFiles/tmo_core.dir/tmo_daemon.cpp.o.d"
+  "CMakeFiles/tmo_core.dir/workingset_profiler.cpp.o"
+  "CMakeFiles/tmo_core.dir/workingset_profiler.cpp.o.d"
+  "libtmo_core.a"
+  "libtmo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmo_costmodel.dir/cost_model.cpp.o"
+  "CMakeFiles/tmo_costmodel.dir/cost_model.cpp.o.d"
+  "libtmo_costmodel.a"
+  "libtmo_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmo_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

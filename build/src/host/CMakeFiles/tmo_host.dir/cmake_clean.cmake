@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmo_host.dir/fleet.cpp.o"
+  "CMakeFiles/tmo_host.dir/fleet.cpp.o.d"
+  "CMakeFiles/tmo_host.dir/host.cpp.o"
+  "CMakeFiles/tmo_host.dir/host.cpp.o.d"
+  "libtmo_host.a"
+  "libtmo_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmo_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmo_mem.dir/lru.cpp.o"
+  "CMakeFiles/tmo_mem.dir/lru.cpp.o.d"
+  "CMakeFiles/tmo_mem.dir/memory_manager.cpp.o"
+  "CMakeFiles/tmo_mem.dir/memory_manager.cpp.o.d"
+  "CMakeFiles/tmo_mem.dir/reclaim.cpp.o"
+  "CMakeFiles/tmo_mem.dir/reclaim.cpp.o.d"
+  "libtmo_mem.a"
+  "libtmo_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmo_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

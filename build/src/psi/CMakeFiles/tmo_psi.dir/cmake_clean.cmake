@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmo_psi.dir/psi.cpp.o"
+  "CMakeFiles/tmo_psi.dir/psi.cpp.o.d"
+  "libtmo_psi.a"
+  "libtmo_psi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmo_psi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

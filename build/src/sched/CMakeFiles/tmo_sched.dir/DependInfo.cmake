@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/cpu_model.cpp" "src/sched/CMakeFiles/tmo_sched.dir/cpu_model.cpp.o" "gcc" "src/sched/CMakeFiles/tmo_sched.dir/cpu_model.cpp.o.d"
+  "/root/repo/src/sched/task.cpp" "src/sched/CMakeFiles/tmo_sched.dir/task.cpp.o" "gcc" "src/sched/CMakeFiles/tmo_sched.dir/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tmo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/psi/CMakeFiles/tmo_psi.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgroup/CMakeFiles/tmo_cgroup.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

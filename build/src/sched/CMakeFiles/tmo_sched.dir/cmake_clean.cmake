@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmo_sched.dir/cpu_model.cpp.o"
+  "CMakeFiles/tmo_sched.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/tmo_sched.dir/task.cpp.o"
+  "CMakeFiles/tmo_sched.dir/task.cpp.o.d"
+  "libtmo_sched.a"
+  "libtmo_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmo_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmo_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/tmo_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/tmo_sim.dir/rng.cpp.o"
+  "CMakeFiles/tmo_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/tmo_sim.dir/simulation.cpp.o"
+  "CMakeFiles/tmo_sim.dir/simulation.cpp.o.d"
+  "libtmo_sim.a"
+  "libtmo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

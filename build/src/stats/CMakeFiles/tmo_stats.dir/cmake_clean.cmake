@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmo_stats.dir/histogram.cpp.o"
+  "CMakeFiles/tmo_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/tmo_stats.dir/table.cpp.o"
+  "CMakeFiles/tmo_stats.dir/table.cpp.o.d"
+  "CMakeFiles/tmo_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/tmo_stats.dir/timeseries.cpp.o.d"
+  "libtmo_stats.a"
+  "libtmo_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmo_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmo_workload.dir/app_model.cpp.o"
+  "CMakeFiles/tmo_workload.dir/app_model.cpp.o.d"
+  "CMakeFiles/tmo_workload.dir/app_profile.cpp.o"
+  "CMakeFiles/tmo_workload.dir/app_profile.cpp.o.d"
+  "CMakeFiles/tmo_workload.dir/trace.cpp.o"
+  "CMakeFiles/tmo_workload.dir/trace.cpp.o.d"
+  "libtmo_workload.a"
+  "libtmo_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmo_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

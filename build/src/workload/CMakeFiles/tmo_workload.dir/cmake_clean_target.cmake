@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtmo_workload.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_coordinator.dir/test_cpu_coordinator.cpp.o"
+  "CMakeFiles/test_cpu_coordinator.dir/test_cpu_coordinator.cpp.o.d"
+  "test_cpu_coordinator"
+  "test_cpu_coordinator.pdb"
+  "test_cpu_coordinator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_coordinator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gswap.dir/test_gswap.cpp.o"
+  "CMakeFiles/test_gswap.dir/test_gswap.cpp.o.d"
+  "test_gswap"
+  "test_gswap.pdb"
+  "test_gswap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gswap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

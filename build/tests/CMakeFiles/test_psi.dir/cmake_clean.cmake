@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_psi.dir/test_psi.cpp.o"
+  "CMakeFiles/test_psi.dir/test_psi.cpp.o.d"
+  "test_psi"
+  "test_psi.pdb"
+  "test_psi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_psi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

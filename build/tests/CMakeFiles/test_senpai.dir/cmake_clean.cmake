@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_senpai.dir/test_senpai.cpp.o"
+  "CMakeFiles/test_senpai.dir/test_senpai.cpp.o.d"
+  "test_senpai"
+  "test_senpai.pdb"
+  "test_senpai[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_senpai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

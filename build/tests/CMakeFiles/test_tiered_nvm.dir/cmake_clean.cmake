@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tiered_nvm.dir/test_tiered_nvm.cpp.o"
+  "CMakeFiles/test_tiered_nvm.dir/test_tiered_nvm.cpp.o.d"
+  "test_tiered_nvm"
+  "test_tiered_nvm.pdb"
+  "test_tiered_nvm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tiered_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tmo_daemon.dir/test_tmo_daemon.cpp.o"
+  "CMakeFiles/test_tmo_daemon.dir/test_tmo_daemon.cpp.o.d"
+  "test_tmo_daemon"
+  "test_tmo_daemon.pdb"
+  "test_tmo_daemon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tmo_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

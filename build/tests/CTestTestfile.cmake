@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_time[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_psi[1]_include.cmake")
+include("/root/repo/build/tests/test_cgroup[1]_include.cmake")
+include("/root/repo/build/tests/test_lru[1]_include.cmake")
+include("/root/repo/build/tests/test_backend[1]_include.cmake")
+include("/root/repo/build/tests/test_memory_manager[1]_include.cmake")
+include("/root/repo/build/tests/test_reclaim[1]_include.cmake")
+include("/root/repo/build/tests/test_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_host[1]_include.cmake")
+include("/root/repo/build/tests/test_senpai[1]_include.cmake")
+include("/root/repo/build/tests/test_tmo_daemon[1]_include.cmake")
+include("/root/repo/build/tests/test_gswap[1]_include.cmake")
+include("/root/repo/build/tests/test_cost_model[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_scale_model[1]_include.cmake")
+include("/root/repo/build/tests/test_tiered_nvm[1]_include.cmake")
+include("/root/repo/build/tests/test_protection[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz_invariants[1]_include.cmake")
+include("/root/repo/build/tests/test_workingset_profiler[1]_include.cmake")
+include("/root/repo/build/tests/test_event_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu_coordinator[1]_include.cmake")
+include("/root/repo/build/tests/test_determinism[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmo_cli.dir/tmo_sim.cpp.o"
+  "CMakeFiles/tmo_cli.dir/tmo_sim.cpp.o.d"
+  "tmo"
+  "tmo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tmo_cli_smoke "/root/repo/build/tools/tmo" "--app" "feed" "--minutes" "3" "--csv")
+set_tests_properties(tmo_cli_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tmo_cli_tiered_smoke "/root/repo/build/tools/tmo" "--app" "web" "--backend" "tiered" "--controller" "senpai-aggressive" "--minutes" "3" "--csv")
+set_tests_properties(tmo_cli_tiered_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tmo_cli_bad_flag "/root/repo/build/tools/tmo" "--bogus")
+set_tests_properties(tmo_cli_bad_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
