@@ -45,33 +45,44 @@ main()
                   "swap-out write rate, cluster P50/P90, regulation"
                   " from day 8");
 
-    sim::Simulation simulation;
-    host::Fleet fleet(simulation);
-    std::vector<std::unique_ptr<core::Senpai>> senpais;
-    std::vector<workload::AppModel *> apps;
-
-    for (int i = 0; i < CLUSTER; ++i) {
-        auto config = bench::standardHost('C', 1ull << 30, 1000 + i);
-        config.appTick = 2 * sim::SEC;
-        auto &machine = fleet.addHost(config, "ads");
-        auto profile = workload::appPreset("ads_b", 800ull << 20);
-        // Continuous production of new soon-cold model data keeps
-        // offload writes flowing for days (the endurance hazard).
-        profile.churnBytesPerSec = 4e6;
-        auto &app = machine.addApp(profile, host::AnonMode::SWAP_SSD);
-        apps.push_back(&app);
-        // Aggressive controller, no write budget yet: churns the SSD.
+    // Aggressive controller, no write budget yet: churns the SSD.
+    // The factory runs per host (in index order) once its containers
+    // exist; raw observer pointers let the bench retune the running
+    // controllers when regulation deploys on day 8.
+    std::vector<core::Senpai *> senpais;
+    auto aggressive = [&](host::Host &machine)
+        -> std::unique_ptr<core::Controller> {
         auto senpai_config = core::senpaiAggressiveConfig();
         senpai_config.writeBudgetBytesPerSec = 0.0;
-        senpais.push_back(std::make_unique<core::Senpai>(
-            simulation, machine.memory(), app.cgroup(),
-            senpai_config));
-    }
+        auto senpai = std::make_unique<core::Senpai>(
+            machine.simulation(), machine.memory(),
+            machine.apps().front()->cgroup(), senpai_config);
+        senpais.push_back(senpai.get());
+        return senpai;
+    };
+
+    host::Fleet fleet =
+        host::FleetSpec{}
+            .hosts(CLUSTER)
+            .name_prefix("ads")
+            .epoch(DAY_LEN)
+            .controller(aggressive)
+            .customize([&](std::size_t i, host::HostBuilder &builder) {
+                auto config =
+                    bench::standardHost('C', 1ull << 30,
+                                        1000 + static_cast<int>(i));
+                config.appTick = 2 * sim::SEC;
+                builder.config(config);
+                auto profile =
+                    workload::appPreset("ads_b", 800ull << 20);
+                // Continuous production of new soon-cold model data
+                // keeps offload writes flowing for days (the
+                // endurance hazard).
+                profile.churnBytesPerSec = 4e6;
+                builder.app(profile, host::AnonMode::SWAP_SSD);
+            })
+            .build();
     fleet.start();
-    for (auto *app : apps)
-        app->start();
-    for (auto &s : senpais)
-        s->start();
 
     stats::Table table;
     table.setHeader({"day", "P50_MBps", "P90_MBps", "regulated"});
@@ -79,18 +90,20 @@ main()
     for (int day = 1; day <= DAYS; ++day) {
         if (day == 8) {
             // Deploy write regulation fleet-wide (1 MB/s threshold).
-            for (auto &s : senpais) {
+            for (auto *s : senpais) {
                 auto config = s->config();
                 config.writeBudgetBytesPerSec = BUDGET_BYTES_PER_SEC;
                 s->setConfig(config);
             }
         }
-        simulation.runUntil(static_cast<sim::SimTime>(day) * DAY_LEN);
+        fleet.run(static_cast<sim::SimTime>(day) * DAY_LEN,
+                  /*jobs=*/4);
         std::vector<double> rates;
         for (std::size_t i = 0; i < fleet.size(); ++i) {
-            auto &mcg =
-                fleet.host(i).memory().memcgOf(apps[i]->cgroup());
-            rates.push_back(mcg.swapoutBytes.rate(simulation.now()) *
+            auto &machine = fleet.host(i);
+            auto &mcg = machine.memory().memcgOf(
+                machine.apps().front()->cgroup());
+            rates.push_back(mcg.swapoutBytes.rate(fleet.now()) *
                             WRITE_SCALE / 1e6);
         }
         const double p50 = stats::exactQuantile(rates, 0.5);

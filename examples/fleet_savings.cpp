@@ -4,13 +4,16 @@
  * different workloads, app + sidecar containers) under the TMO daemon,
  * reporting per-host and aggregate savings — the §4.1 deployment view.
  *
+ * Also the FleetSpec/HostBuilder showcase: a prototype host plus a
+ * per-index customize() hook describes the whole heterogeneous fleet,
+ * and run(..., jobs) advances the shards in parallel without changing
+ * any result.
+ *
  * Build & run:  ./build/examples/fleet_savings
  */
 
 #include <iostream>
-#include <memory>
 
-#include "core/tmo_daemon.hpp"
 #include "host/fleet.hpp"
 #include "stats/table.hpp"
 #include "workload/app_profile.hpp"
@@ -20,10 +23,6 @@ using namespace tmo;
 int
 main()
 {
-    sim::Simulation simulation;
-    host::Fleet fleet(simulation);
-    std::vector<std::unique_ptr<core::TmoDaemon>> daemons;
-
     struct Node {
         const char *app;
         char ssd;
@@ -40,47 +39,36 @@ main()
         {"ml_reader", 'G', host::AnonMode::SWAP_SSD},
     };
 
-    std::vector<workload::AppModel *> apps;
-    for (const auto &node : nodes) {
-        host::HostConfig config;
-        config.mem.ramBytes = 2ull << 30;
-        config.mem.pageBytes = 64 * 1024;
-        config.ssdClass = node.ssd;
-        auto &machine = fleet.addHost(config, node.app);
-
-        // Primary app plus a low-priority sidecar pair (memory tax).
-        auto profile = workload::appPreset(node.app, 1ull << 30);
-        profile.growthSeconds = 0.0;
-        for (auto &region : profile.regions)
-            region.lazy = false;
-        auto &app = machine.addApp(profile, node.mode);
-        auto &logging = machine.addApp(
-            workload::sidecarPreset("dc_logging", 192ull << 20),
-            host::AnonMode::ZSWAP);
-        auto &proxy = machine.addApp(
-            workload::sidecarPreset("ms_proxy", 128ull << 20),
-            host::AnonMode::ZSWAP);
-        logging.cgroup().setPriority(cgroup::Priority::LOW);
-        proxy.cgroup().setPriority(cgroup::Priority::LOW);
-
-        machine.start();
-        app.start();
-        logging.start();
-        proxy.start();
-        apps.push_back(&app);
-
-        auto daemon = std::make_unique<core::TmoDaemon>(
-            simulation, machine.memory());
-        daemon->manage(app.cgroup());
-        daemon->manage(logging.cgroup());
-        daemon->manage(proxy.cgroup());
-        daemon->startAll();
-        daemons.push_back(std::move(daemon));
-    }
+    host::Fleet fleet =
+        host::FleetSpec{}
+            .hosts(std::size(nodes))
+            .ram_mb(2048)
+            .page_kb(64)
+            .controller("tmo")
+            .customize([&](std::size_t i, host::HostBuilder &builder) {
+                const auto &node = nodes[i];
+                builder.name(node.app).ssd_class(node.ssd);
+                // Primary app plus a low-priority sidecar pair (the
+                // memory tax); the TMO daemon relaxes control on the
+                // LOW-priority containers automatically.
+                auto profile = workload::appPreset(node.app, 1ull << 30);
+                profile.growthSeconds = 0.0;
+                for (auto &region : profile.regions)
+                    region.lazy = false;
+                builder.app(profile, node.mode);
+                builder.app(
+                    workload::sidecarPreset("dc_logging", 192ull << 20),
+                    host::AnonMode::ZSWAP, cgroup::Priority::LOW);
+                builder.app(
+                    workload::sidecarPreset("ms_proxy", 128ull << 20),
+                    host::AnonMode::ZSWAP, cgroup::Priority::LOW);
+            })
+            .build();
+    fleet.start();
 
     std::cout << "TMO fleet: 6 heterogeneous hosts, app + sidecars,"
                  " 8 simulated hours\n\n";
-    simulation.runUntil(8 * sim::HOUR);
+    fleet.run(8 * sim::HOUR, /*jobs=*/4);
 
     stats::Table table;
     table.setHeader({"host", "ssd", "backend", "host_savings_%",
@@ -95,7 +83,7 @@ main()
             machine.cgroups().root().memCurrent());
         total_allocated += allocated;
         total_resident += resident;
-        const auto &tick = apps[i]->lastTick();
+        const auto &tick = machine.apps().front()->lastTick();
         table.addRow(
             {machine.name(), machine.ssd().spec().name,
              nodes[i].mode == host::AnonMode::ZSWAP ? "zswap" : "ssd",

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "stats/table.hpp"
+
 namespace tmo::baseline
 {
 
@@ -35,6 +37,17 @@ GswapController::stop()
     running_ = false;
     sim_.events().cancel(event_);
     event_ = sim::INVALID_EVENT;
+}
+
+core::StatsRow
+GswapController::statsRow() const
+{
+    return {
+        {"gswap[" + cg_->name() + "] target promotions/s",
+         stats::fmt(config_.targetPromotionsPerSec, 1)},
+        {"gswap[" + cg_->name() + "] last promotions/s",
+         stats::fmt(promotions_.last(), 1)},
+    };
 }
 
 void

@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "cgroup/cgroup.hpp"
+#include "core/controller.hpp"
 #include "mem/memory_manager.hpp"
 #include "sim/simulation.hpp"
 #include "stats/timeseries.hpp"
@@ -38,21 +39,23 @@ struct GswapConfig {
  * Contrast with core::Senpai, which replaces the static rate target
  * with realtime PSI feedback.
  */
-class GswapController
+class GswapController final : public core::Controller
 {
   public:
     GswapController(sim::Simulation &simulation,
                     mem::MemoryManager &mm, cgroup::Cgroup &cg,
                     GswapConfig config = {});
 
-    ~GswapController();
+    ~GswapController() override;
 
-    GswapController(const GswapController &) = delete;
-    GswapController &operator=(const GswapController &) = delete;
+    void start() override;
+    void stop() override;
+    bool running() const override { return running_; }
 
-    void start();
-    void stop();
-    bool running() const { return running_; }
+    std::string name() const override { return "gswap"; }
+
+    /** Target and last observed promotion rate. */
+    core::StatsRow statsRow() const override;
 
     const GswapConfig &config() const { return config_; }
 

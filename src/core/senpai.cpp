@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "stats/table.hpp"
+
 namespace tmo::core
 {
 
@@ -54,6 +56,17 @@ Senpai::stop()
     running_ = false;
     sim_.events().cancel(event_);
     event_ = sim::INVALID_EVENT;
+}
+
+StatsRow
+Senpai::statsRow() const
+{
+    return {
+        {"senpai[" + cg_->name() + "] requested",
+         stats::fmtBytes(static_cast<double>(totalRequested_))},
+        {"senpai[" + cg_->name() + "] last pressure",
+         stats::fmtPercent(pressure_.last(), 4)},
+    };
 }
 
 void

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "cgroup/cgroup.hpp"
+#include "core/controller.hpp"
 #include "core/write_regulator.hpp"
 #include "mem/memory_manager.hpp"
 #include "sim/simulation.hpp"
@@ -84,7 +85,7 @@ SenpaiConfig senpaiAggressiveConfig();
  * interfaces (PSI files, memory.current) and writes memory.reclaim;
  * it never touches kernel internals.
  */
-class Senpai
+class Senpai final : public Controller
 {
   public:
     /**
@@ -96,18 +97,20 @@ class Senpai
     Senpai(sim::Simulation &simulation, mem::MemoryManager &mm,
            cgroup::Cgroup &cg, SenpaiConfig config = {});
 
-    ~Senpai();
-
-    Senpai(const Senpai &) = delete;
-    Senpai &operator=(const Senpai &) = delete;
+    ~Senpai() override;
 
     /** Begin periodic control. */
-    void start();
+    void start() override;
 
     /** Stop controlling (cgroup state is left as-is). */
-    void stop();
+    void stop() override;
 
-    bool running() const { return running_; }
+    bool running() const override { return running_; }
+
+    std::string name() const override { return "senpai"; }
+
+    /** Requested-reclaim and pressure telemetry, one row each. */
+    StatsRow statsRow() const override;
 
     const SenpaiConfig &config() const { return config_; }
     void setConfig(const SenpaiConfig &config) { config_ = config; }

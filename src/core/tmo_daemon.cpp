@@ -1,5 +1,7 @@
 #include "core/tmo_daemon.hpp"
 
+#include "stats/table.hpp"
+
 namespace tmo::core
 {
 
@@ -51,6 +53,28 @@ TmoDaemon::stopAll()
 {
     for (auto &s : senpais_)
         s->stop();
+}
+
+bool
+TmoDaemon::running() const
+{
+    for (const auto &s : senpais_)
+        if (s->running())
+            return true;
+    return false;
+}
+
+StatsRow
+TmoDaemon::statsRow() const
+{
+    std::uint64_t requested = 0;
+    for (const auto &s : senpais_)
+        requested += s->totalRequested();
+    return {
+        {"tmo managed containers", std::to_string(senpais_.size())},
+        {"tmo requested reclaim",
+         stats::fmtBytes(static_cast<double>(requested))},
+    };
 }
 
 } // namespace tmo::core

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "cgroup/cgroup.hpp"
+#include "core/controller.hpp"
 #include "core/senpai.hpp"
 #include "mem/memory_manager.hpp"
 #include "sim/simulation.hpp"
@@ -24,7 +25,7 @@ namespace tmo::core
 {
 
 /** Manages one Senpai instance per controlled container. */
-class TmoDaemon
+class TmoDaemon final : public Controller
 {
   public:
     /**
@@ -35,9 +36,6 @@ class TmoDaemon
      */
     TmoDaemon(sim::Simulation &simulation, mem::MemoryManager &mm,
               SenpaiConfig base = senpaiProductionConfig());
-
-    TmoDaemon(const TmoDaemon &) = delete;
-    TmoDaemon &operator=(const TmoDaemon &) = delete;
 
     /**
      * Put a container under management. The effective config scales
@@ -53,6 +51,19 @@ class TmoDaemon
 
     /** Stop every managed Senpai. */
     void stopAll();
+
+    // --- Controller interface --------------------------------------------
+
+    void start() override { startAll(); }
+    void stop() override { stopAll(); }
+
+    /** True while any managed Senpai is running. */
+    bool running() const override;
+
+    std::string name() const override { return "tmo"; }
+
+    /** Managed-container count plus aggregate requested reclaim. */
+    StatsRow statsRow() const override;
 
     const std::vector<std::unique_ptr<Senpai>> &senpais() const
     {

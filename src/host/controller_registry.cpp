@@ -1,0 +1,122 @@
+#include "host/controller_registry.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "baseline/gswap.hpp"
+#include "core/controller.hpp"
+#include "core/tmo_daemon.hpp"
+
+namespace tmo::host
+{
+
+namespace
+{
+
+core::SenpaiConfig
+senpaiBase(bool aggressive, const ControllerOptions &options)
+{
+    auto config = aggressive ? core::senpaiAggressiveConfig()
+                             : core::senpaiProductionConfig();
+    config.source = options.source;
+    if (options.psiThreshold > 0.0)
+        config.psiThreshold = options.psiThreshold;
+    return config;
+}
+
+std::unique_ptr<core::Controller>
+makeSenpaiPerApp(Host &host, const core::SenpaiConfig &config,
+                 const std::string &label)
+{
+    auto composite = std::make_unique<core::CompositeController>(label);
+    for (const auto &app : host.apps())
+        composite->add(std::make_unique<core::Senpai>(
+            host.simulation(), host.memory(), app->cgroup(), config));
+    return composite;
+}
+
+using Builder = std::unique_ptr<core::Controller> (*)(
+    Host &, const ControllerOptions &);
+
+struct Entry {
+    const char *name;
+    Builder build;
+};
+
+const Entry REGISTRY[] = {
+    {"none",
+     [](Host &, const ControllerOptions &)
+         -> std::unique_ptr<core::Controller> { return nullptr; }},
+    {"senpai",
+     [](Host &host, const ControllerOptions &options)
+         -> std::unique_ptr<core::Controller> {
+         return makeSenpaiPerApp(host, senpaiBase(false, options),
+                                 "senpai");
+     }},
+    {"senpai-aggressive",
+     [](Host &host, const ControllerOptions &options)
+         -> std::unique_ptr<core::Controller> {
+         return makeSenpaiPerApp(host, senpaiBase(true, options),
+                                 "senpai-aggressive");
+     }},
+    {"tmo",
+     [](Host &host, const ControllerOptions &options)
+         -> std::unique_ptr<core::Controller> {
+         auto daemon = std::make_unique<core::TmoDaemon>(
+             host.simulation(), host.memory(),
+             senpaiBase(false, options));
+         for (const auto &app : host.apps())
+             daemon->manage(app->cgroup());
+         return daemon;
+     }},
+    {"gswap",
+     [](Host &host, const ControllerOptions &)
+         -> std::unique_ptr<core::Controller> {
+         auto composite =
+             std::make_unique<core::CompositeController>("gswap");
+         for (const auto &app : host.apps())
+             composite->add(std::make_unique<baseline::GswapController>(
+                 host.simulation(), host.memory(), app->cgroup()));
+         return composite;
+     }},
+};
+
+} // namespace
+
+const std::vector<std::string> &
+knownControllers()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const auto &entry : REGISTRY)
+            out.emplace_back(entry.name);
+        return out;
+    }();
+    return names;
+}
+
+bool
+isKnownController(const std::string &name)
+{
+    for (const auto &entry : REGISTRY)
+        if (name == entry.name)
+            return true;
+    return false;
+}
+
+ControllerFactory
+controllerFactoryFor(const std::string &name, ControllerOptions options)
+{
+    for (const auto &entry : REGISTRY) {
+        if (name != entry.name)
+            continue;
+        const Builder build = entry.build;
+        return [build, options](Host &host) {
+            return build(host, options);
+        };
+    }
+    throw std::invalid_argument("unknown controller: " + name);
+}
+
+} // namespace tmo::host

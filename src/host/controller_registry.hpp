@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Name → controller factory registry.
+ *
+ * tools/tmo_sim, FleetSpec, and tests pick controllers by name; the
+ * registry is the single place that knows how to assemble each policy
+ * for a host, so callers dispatch purely through core::Controller with
+ * no per-controller branching. A factory runs after the host's
+ * containers exist and builds one policy instance per container (or a
+ * daemon managing all of them).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/senpai.hpp"
+#include "host/fleet_spec.hpp"
+
+namespace tmo::host
+{
+
+/** Cross-cutting knobs a CLI can thread into any named controller. */
+struct ControllerOptions {
+    /** >0 overrides the Senpai-family PSI threshold. */
+    double psiThreshold = 0.0;
+    /** Pressure reading for Senpai-family controllers. AVG60 is the
+     *  stable choice at small simulated scales. */
+    core::PressureSource source = core::PressureSource::AVG60;
+};
+
+/** Names controllerFactoryFor() accepts, in usage order. */
+const std::vector<std::string> &knownControllers();
+
+/** Whether @p name resolves (for parse-time CLI validation). */
+bool isKnownController(const std::string &name);
+
+/**
+ * Factory for a named controller:
+ *   none              no controller (factory yields nullptr)
+ *   senpai            one production-config Senpai per container
+ *   senpai-aggressive one config-"B" Senpai per container
+ *   tmo               TmoDaemon, priority-scaled per container
+ *   gswap             one g-swap baseline per container
+ * Throws std::invalid_argument for an unknown name.
+ */
+ControllerFactory controllerFactoryFor(const std::string &name,
+                                       ControllerOptions options = {});
+
+} // namespace tmo::host

@@ -1,32 +1,116 @@
 #include "host/fleet.hpp"
 
+#include <algorithm>
+
 namespace tmo::host
 {
+
+namespace
+{
+
+/** Mix the configured seed with the host index (splitmix-style) so a
+ *  shared spec still yields deterministically distinct hosts. */
+std::uint64_t
+mixSeed(std::uint64_t seed, std::size_t index)
+{
+    return seed * 0x2545f4914f6cdd1dull +
+           (index + 1) * 0x9e3779b97f4a7c15ull;
+}
+
+} // namespace
+
+Fleet::Fleet(const FleetSpec &spec)
+{
+    *this = spec.build();
+}
+
+Host &
+Fleet::addHost(const HostBuilder &builder)
+{
+    HostConfig config = builder.hostConfig();
+    config.seed = mixSeed(config.seed, shards_.size());
+
+    Shard shard;
+    shard.sim = std::make_unique<sim::Simulation>();
+    const std::string name =
+        builder.hostName().empty()
+            ? "host" + std::to_string(shards_.size())
+            : builder.hostName();
+    shard.host = std::make_unique<Host>(*shard.sim, config, name);
+    for (auto &spec : builder.resolvedApps()) {
+        auto &app = shard.host->addApp(spec.profile, spec.mode);
+        app.cgroup().setPriority(spec.priority);
+    }
+    if (builder.controllerFactory())
+        shard.host->setController(
+            builder.controllerFactory()(*shard.host));
+
+    shards_.push_back(std::move(shard));
+    return *shards_.back().host;
+}
 
 Host &
 Fleet::addHost(HostConfig config, const std::string &name_prefix)
 {
-    config.seed = config.seed * 0x2545f4914f6cdd1dull +
-                  (hosts_.size() + 1) * 0x9e3779b97f4a7c15ull;
-    hosts_.push_back(std::make_unique<Host>(
-        sim_, config, name_prefix + std::to_string(hosts_.size())));
-    return *hosts_.back();
+    HostBuilder builder;
+    builder.config(config).name(name_prefix +
+                                std::to_string(shards_.size()));
+    return addHost(builder);
 }
 
 void
 Fleet::start()
 {
-    for (auto &h : hosts_)
-        h->start();
+    for (auto &shard : shards_) {
+        shard.host->start();
+        for (const auto &app : shard.host->apps())
+            app->start();
+        if (shard.host->controller())
+            shard.host->controller()->start();
+    }
+}
+
+void
+Fleet::setEpoch(sim::SimTime epoch)
+{
+    epoch_ = epoch > 0 ? epoch : sim::MINUTE;
+}
+
+void
+Fleet::run(sim::SimTime deadline, unsigned jobs)
+{
+    if (jobs == 0)
+        jobs = 1;
+    const bool parallel = jobs > 1 && shards_.size() > 1;
+    if (parallel && (!executor_ || executor_->jobs() != jobs))
+        executor_ = std::make_unique<sim::ShardedExecutor>(jobs);
+
+    while (now_ < deadline) {
+        const sim::SimTime target = std::min(deadline, now_ + epoch_);
+        // Advance every shard to the epoch end. The executor's
+        // barrier is the only cross-shard synchronization point;
+        // within the epoch each shard runs single-threaded on its own
+        // clock, so results cannot depend on jobs or epoch length.
+        const auto step = [this, target](std::size_t i) {
+            shards_[i].sim->runUntil(target);
+        };
+        if (parallel) {
+            executor_->parallelFor(shards_.size(), step);
+        } else {
+            for (std::size_t i = 0; i < shards_.size(); ++i)
+                step(i);
+        }
+        now_ = target;
+    }
 }
 
 std::vector<double>
 Fleet::collect(const std::function<double(Host &)> &metric)
 {
     std::vector<double> values;
-    values.reserve(hosts_.size());
-    for (auto &h : hosts_)
-        values.push_back(metric(*h));
+    values.reserve(shards_.size());
+    for (auto &shard : shards_)
+        values.push_back(metric(*shard.host));
     return values;
 }
 

@@ -1,10 +1,17 @@
 /**
  * @file
- * A fleet of simulated hosts.
+ * The sharded parallel fleet engine.
  *
  * Fleet-wide results in the paper (Figs. 9, 10, 14) are distributions
- * over many servers. The Fleet owns N hosts on one shared simulation
- * clock and provides cross-host percentile helpers.
+ * over many servers. Hosts never interact: each one is a shard with
+ * its OWN sim::Simulation clock, and run() advances all shards in
+ * deterministic lockstep epochs — every shard reaches the epoch end
+ * (a barrier) before cross-host collection can observe it. Inside an
+ * epoch shards execute on a sim::ShardedExecutor worker pool, so a
+ * 64-host hour costs roughly a single-host hour per core; because
+ * shards share no mutable state and per-host RNG seeds mix in the
+ * host index, results are bit-identical for any job count or epoch
+ * length.
  */
 
 #pragma once
@@ -13,47 +20,85 @@
 #include <memory>
 #include <vector>
 
+#include "host/fleet_spec.hpp"
 #include "host/host.hpp"
+#include "sim/sharded_executor.hpp"
 #include "sim/simulation.hpp"
 
 namespace tmo::host
 {
 
-/** N hosts sharing one simulated clock. */
+/** N independent hosts advanced in lockstep epochs. */
 class Fleet
 {
   public:
-    explicit Fleet(sim::Simulation &simulation)
-        : sim_(simulation)
-    {}
+    Fleet() = default;
+
+    /** Build every host a FleetSpec describes. */
+    explicit Fleet(const FleetSpec &spec);
 
     Fleet(const Fleet &) = delete;
     Fleet &operator=(const Fleet &) = delete;
+    Fleet(Fleet &&) = default;
+    Fleet &operator=(Fleet &&) = default;
 
     /**
-     * Add a host. @p config.seed is combined with the host index so
-     * hosts differ deterministically.
+     * Add one host described by @p builder: a fresh shard clock, the
+     * host, its containers, and its controller. The builder's seed is
+     * combined with the host index so hosts differ deterministically.
      */
+    Host &addHost(const HostBuilder &builder);
+
+    /** @deprecated Configure hosts through HostBuilder / FleetSpec. */
+    [[deprecated("use addHost(const HostBuilder &) or FleetSpec")]]
     Host &addHost(HostConfig config, const std::string &name_prefix);
 
-    /** Start services on every host. */
+    /** Start host services, workloads, and controllers everywhere. */
     void start();
 
-    std::size_t size() const { return hosts_.size(); }
-    Host &host(std::size_t i) { return *hosts_[i]; }
+    /**
+     * Advance every shard to @p deadline in lockstep epochs using
+     * @p jobs lanes (1 = serial in the calling thread). After return,
+     * every host clock reads exactly @p deadline.
+     */
+    void run(sim::SimTime deadline, unsigned jobs = 1);
+
+    /** Common fleet time: where the last run() left every shard. */
+    sim::SimTime now() const { return now_; }
+
+    /** Lockstep barrier period used by run(). */
+    sim::SimTime epoch() const { return epoch_; }
+    void setEpoch(sim::SimTime epoch);
+
+    std::size_t size() const { return shards_.size(); }
+    Host &host(std::size_t i) { return *shards_[i].host; }
+
+    /** The shard clock owning host @p i. */
+    sim::Simulation &simulationOf(std::size_t i)
+    {
+        return *shards_[i].sim;
+    }
 
     /**
-     * Evaluate @p metric on every host and return the values
-     * (for exactQuantile-style cluster percentiles).
+     * Evaluate @p metric on every host, in host-index order, and
+     * return the values (for exactQuantile-style cluster
+     * percentiles). Call between run() epochs: all shards are then at
+     * the same simulated time.
      */
     std::vector<double> collect(
         const std::function<double(Host &)> &metric);
 
-    sim::Simulation &simulation() { return sim_; }
-
   private:
-    sim::Simulation &sim_;
-    std::vector<std::unique_ptr<Host>> hosts_;
+    /** One host with its private clock. */
+    struct Shard {
+        std::unique_ptr<sim::Simulation> sim;
+        std::unique_ptr<Host> host;
+    };
+
+    sim::SimTime epoch_ = sim::MINUTE;
+    sim::SimTime now_ = 0;
+    std::vector<Shard> shards_;
+    std::unique_ptr<sim::ShardedExecutor> executor_;
 };
 
 } // namespace tmo::host

@@ -1,0 +1,61 @@
+#include "host/fleet_spec.hpp"
+
+#include <stdexcept>
+
+#include "host/controller_registry.hpp"
+#include "host/fleet.hpp"
+
+namespace tmo::host
+{
+
+HostBuilder &
+HostBuilder::workload(const std::string &preset,
+                      std::uint64_t footprint_mb)
+{
+    workload::AppProfile profile;
+    try {
+        profile = workload::appPreset(preset, footprint_mb << 20);
+    } catch (const std::invalid_argument &) {
+        // Sidecar/tax presets share the vocabulary (tmo_sim does the
+        // same fallback).
+        profile = workload::sidecarPreset(preset, footprint_mb << 20);
+    }
+    apps_.push_back(AppSpec{std::move(profile), defaultMode_,
+                            cgroup::Priority::NORMAL, true});
+    return *this;
+}
+
+HostBuilder &
+HostBuilder::controller(const std::string &name)
+{
+    controller_ = controllerFactoryFor(name);
+    return *this;
+}
+
+std::vector<AppSpec>
+HostBuilder::resolvedApps() const
+{
+    std::vector<AppSpec> apps = apps_;
+    for (auto &app : apps)
+        if (app.useDefaultMode)
+            app.mode = defaultMode_;
+    return apps;
+}
+
+Fleet
+FleetSpec::build() const
+{
+    Fleet fleet;
+    fleet.setEpoch(epoch_);
+    for (std::size_t i = 0; i < hosts_; ++i) {
+        HostBuilder builder = proto_;
+        if (builder.hostName().empty())
+            builder.name(prefix_ + std::to_string(i));
+        if (customize_)
+            customize_(i, builder);
+        fleet.addHost(builder);
+    }
+    return fleet;
+}
+
+} // namespace tmo::host

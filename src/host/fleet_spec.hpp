@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Value-type fleet configuration: HostBuilder and FleetSpec.
+ *
+ * The old way to stand up a fleet was ad-hoc HostConfig plumbing plus
+ * hand-written loops wiring apps and controllers per host. The
+ * redesigned layer is declarative:
+ *
+ *   auto fleet = FleetSpec{}
+ *                    .hosts(64)
+ *                    .ram_mb(2048)
+ *                    .workload("feed")
+ *                    .controller("senpai")
+ *                    .build();
+ *   fleet.start();
+ *   fleet.run(sim::HOUR, 8);
+ *
+ * HostBuilder describes ONE host (hardware, containers, controller);
+ * FleetSpec stamps N hosts from a prototype builder with an optional
+ * per-index customize() hook for heterogeneous fleets. Fluent setters
+ * are snake_case to read like the flags they mirror.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cgroup/cgroup.hpp"
+#include "core/controller.hpp"
+#include "host/host.hpp"
+#include "sim/time.hpp"
+#include "workload/app_profile.hpp"
+
+namespace tmo::host
+{
+
+class Fleet;
+
+/**
+ * Builds one host's controller once the host (and its containers)
+ * exist. May return nullptr for "no controller".
+ */
+using ControllerFactory =
+    std::function<std::unique_ptr<core::Controller>(Host &)>;
+
+/** Declarative description of one container on a host. */
+struct AppSpec {
+    workload::AppProfile profile;
+    AnonMode mode = AnonMode::ZSWAP;
+    cgroup::Priority priority = cgroup::Priority::NORMAL;
+    /** True when the spec should take the builder's default backend
+     *  (set via backend()), resolved at build time so fluent order
+     *  does not matter. */
+    bool useDefaultMode = false;
+};
+
+/** Fluent description of a single host. */
+class HostBuilder
+{
+  public:
+    // --- hardware --------------------------------------------------------
+
+    /** Replace the whole hardware config wholesale. */
+    HostBuilder &
+    config(const HostConfig &config)
+    {
+        config_ = config;
+        return *this;
+    }
+
+    HostBuilder &
+    ram_mb(std::uint64_t mb)
+    {
+        config_.mem.ramBytes = mb << 20;
+        return *this;
+    }
+
+    HostBuilder &
+    page_kb(std::uint64_t kb)
+    {
+        config_.mem.pageBytes = kb << 10;
+        return *this;
+    }
+
+    HostBuilder &
+    cpus(unsigned n)
+    {
+        config_.cpus = n;
+        return *this;
+    }
+
+    HostBuilder &
+    ssd_class(char cls)
+    {
+        config_.ssdClass = cls;
+        return *this;
+    }
+
+    HostBuilder &
+    nvm_preset(std::string preset)
+    {
+        config_.nvmPreset = std::move(preset);
+        return *this;
+    }
+
+    HostBuilder &
+    swap_bytes(std::uint64_t bytes)
+    {
+        config_.swapBytes = bytes;
+        return *this;
+    }
+
+    HostBuilder &
+    seed(std::uint64_t seed)
+    {
+        config_.seed = seed;
+        return *this;
+    }
+
+    HostBuilder &
+    app_tick(sim::SimTime tick)
+    {
+        config_.appTick = tick;
+        return *this;
+    }
+
+    HostBuilder &
+    name(std::string name)
+    {
+        name_ = std::move(name);
+        return *this;
+    }
+
+    // --- containers ------------------------------------------------------
+
+    /** Default anon backend for workload()-declared apps. */
+    HostBuilder &
+    backend(AnonMode mode)
+    {
+        defaultMode_ = mode;
+        return *this;
+    }
+
+    /**
+     * Add an app or sidecar preset by name (the tmo_sim vocabulary).
+     * Throws std::invalid_argument for an unknown preset.
+     */
+    HostBuilder &workload(const std::string &preset,
+                          std::uint64_t footprint_mb = 1024);
+
+    /** Add a fully specified container. */
+    HostBuilder &
+    app(workload::AppProfile profile, AnonMode mode,
+        cgroup::Priority priority = cgroup::Priority::NORMAL)
+    {
+        apps_.push_back(
+            AppSpec{std::move(profile), mode, priority, false});
+        return *this;
+    }
+
+    // --- control plane ---------------------------------------------------
+
+    /** Attach a controller built per host once its containers exist. */
+    HostBuilder &
+    controller(ControllerFactory factory)
+    {
+        controller_ = std::move(factory);
+        return *this;
+    }
+
+    /**
+     * Attach a registry controller by name
+     * (none|senpai|senpai-aggressive|tmo|gswap). Throws
+     * std::invalid_argument for an unknown name.
+     */
+    HostBuilder &controller(const std::string &name);
+
+    // --- introspection (used by Fleet::addHost) --------------------------
+
+    const HostConfig &hostConfig() const { return config_; }
+    const std::string &hostName() const { return name_; }
+    const ControllerFactory &controllerFactory() const
+    {
+        return controller_;
+    }
+
+    /** The declared containers with default backends resolved. */
+    std::vector<AppSpec> resolvedApps() const;
+
+  private:
+    HostConfig config_{};
+    std::string name_;
+    AnonMode defaultMode_ = AnonMode::ZSWAP;
+    std::vector<AppSpec> apps_;
+    ControllerFactory controller_;
+};
+
+/** Stamp N hosts out of a prototype HostBuilder. */
+class FleetSpec
+{
+  public:
+    FleetSpec &
+    hosts(std::size_t n)
+    {
+        hosts_ = n;
+        return *this;
+    }
+
+    /** Lockstep barrier period for Fleet::run. */
+    FleetSpec &
+    epoch(sim::SimTime epoch)
+    {
+        epoch_ = epoch;
+        return *this;
+    }
+
+    /** Host names become prefix0, prefix1, ... */
+    FleetSpec &
+    name_prefix(std::string prefix)
+    {
+        prefix_ = std::move(prefix);
+        return *this;
+    }
+
+    /** Per-index tweak of the stamped builder (heterogeneous fleets). */
+    FleetSpec &
+    customize(std::function<void(std::size_t, HostBuilder &)> fn)
+    {
+        customize_ = std::move(fn);
+        return *this;
+    }
+
+    /** Direct access to the prototype host description. */
+    HostBuilder &prototype() { return proto_; }
+    const HostBuilder &prototype() const { return proto_; }
+
+    // --- prototype forwarders, so one chain describes the fleet ----------
+
+    // clang-format off
+    FleetSpec &config(const HostConfig &c) { proto_.config(c); return *this; }
+    FleetSpec &ram_mb(std::uint64_t mb) { proto_.ram_mb(mb); return *this; }
+    FleetSpec &page_kb(std::uint64_t kb) { proto_.page_kb(kb); return *this; }
+    FleetSpec &cpus(unsigned n) { proto_.cpus(n); return *this; }
+    FleetSpec &ssd_class(char cls) { proto_.ssd_class(cls); return *this; }
+    FleetSpec &nvm_preset(std::string p) { proto_.nvm_preset(std::move(p)); return *this; }
+    FleetSpec &swap_bytes(std::uint64_t b) { proto_.swap_bytes(b); return *this; }
+    FleetSpec &seed(std::uint64_t s) { proto_.seed(s); return *this; }
+    FleetSpec &app_tick(sim::SimTime t) { proto_.app_tick(t); return *this; }
+    FleetSpec &backend(AnonMode mode) { proto_.backend(mode); return *this; }
+    FleetSpec &workload(const std::string &preset, std::uint64_t footprint_mb = 1024) { proto_.workload(preset, footprint_mb); return *this; }
+    FleetSpec &app(workload::AppProfile profile, AnonMode mode, cgroup::Priority priority = cgroup::Priority::NORMAL) { proto_.app(std::move(profile), mode, priority); return *this; }
+    FleetSpec &controller(ControllerFactory factory) { proto_.controller(std::move(factory)); return *this; }
+    FleetSpec &controller(const std::string &name) { proto_.controller(name); return *this; }
+    // clang-format on
+
+    std::size_t hostCount() const { return hosts_; }
+    sim::SimTime epochLength() const { return epoch_; }
+    const std::string &namePrefix() const { return prefix_; }
+    const std::function<void(std::size_t, HostBuilder &)> &
+    customizer() const
+    {
+        return customize_;
+    }
+
+    /** Materialize the fleet (hosts, containers, controllers). */
+    Fleet build() const;
+
+  private:
+    std::size_t hosts_ = 1;
+    sim::SimTime epoch_ = sim::MINUTE;
+    std::string prefix_ = "host";
+    HostBuilder proto_;
+    std::function<void(std::size_t, HostBuilder &)> customize_;
+};
+
+} // namespace tmo::host

@@ -89,6 +89,15 @@ Host::addApp(const workload::AppProfile &profile, AnonMode mode,
     return *apps_.back();
 }
 
+core::Controller *
+Host::setController(std::unique_ptr<core::Controller> controller)
+{
+    if (controller_)
+        controller_->stop();
+    controller_ = std::move(controller);
+    return controller_.get();
+}
+
 void
 Host::setAnonMode(cgroup::Cgroup &cg, AnonMode mode)
 {

@@ -22,6 +22,7 @@
 #include "backend/swap_backend.hpp"
 #include "backend/zswap.hpp"
 #include "cgroup/cgroup.hpp"
+#include "core/controller.hpp"
 #include "mem/memory_manager.hpp"
 #include "sched/cpu_coordinator.hpp"
 #include "sim/simulation.hpp"
@@ -94,6 +95,16 @@ class Host
     /** Switch a container's anon backend (Fig. 11 phase changes). */
     void setAnonMode(cgroup::Cgroup &cg, AnonMode mode);
 
+    /**
+     * Give the host its userspace controller (replaces any previous
+     * one, stopping it first). Accepts nullptr for "no controller".
+     */
+    core::Controller *setController(
+        std::unique_ptr<core::Controller> controller);
+
+    /** The host's controller, or nullptr. */
+    core::Controller *controller() { return controller_.get(); }
+
     // --- components -----------------------------------------------------
 
     sim::Simulation &simulation() { return sim_; }
@@ -127,6 +138,7 @@ class Host
     sched::CpuCoordinator cpu_;
     mem::MemoryManager mm_;
     std::vector<std::unique_ptr<workload::AppModel>> apps_;
+    std::unique_ptr<core::Controller> controller_;
     bool started_ = false;
 };
 

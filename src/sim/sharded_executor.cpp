@@ -1,0 +1,93 @@
+#include "sim/sharded_executor.hpp"
+
+namespace tmo::sim
+{
+
+ShardedExecutor::ShardedExecutor(unsigned jobs)
+{
+    if (jobs == 0) {
+        jobs = std::thread::hardware_concurrency();
+        if (jobs == 0)
+            jobs = 1;
+    }
+    jobs_ = jobs;
+    // The caller is one of the `jobs` lanes; spawn the rest.
+    for (unsigned i = 1; i < jobs_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ShardedExecutor::~ShardedExecutor()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workCv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ShardedExecutor::runIndices()
+{
+    for (;;) {
+        std::size_t index;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (next_ >= n_)
+                return;
+            index = next_++;
+        }
+        (*fn_)(index);
+    }
+}
+
+void
+ShardedExecutor::workerLoop()
+{
+    std::uint64_t seen_round = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workCv_.wait(lock, [&] {
+                return stopping_ || round_ != seen_round;
+            });
+            if (stopping_)
+                return;
+            seen_round = round_;
+        }
+        runIndices();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--busy_ == 0)
+                doneCv_.notify_all();
+        }
+    }
+}
+
+void
+ShardedExecutor::parallelFor(std::size_t n,
+                             const std::function<void(std::size_t)> &fn)
+{
+    if (workers_.empty() || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        fn_ = &fn;
+        n_ = n;
+        next_ = 0;
+        busy_ = workers_.size();
+        ++round_;
+    }
+    workCv_.notify_all();
+    runIndices();
+    std::unique_lock<std::mutex> lock(mutex_);
+    doneCv_.wait(lock, [&] { return busy_ == 0; });
+    fn_ = nullptr;
+    n_ = 0;
+}
+
+} // namespace tmo::sim

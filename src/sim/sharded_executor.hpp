@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Worker pool for sharded simulations.
+ *
+ * The fleet engine gives every host its own sim::Simulation and
+ * advances the shards in lockstep epochs. ShardedExecutor is the pool
+ * that fans one epoch out across worker threads: parallelFor(n, fn)
+ * runs fn(0..n-1) with dynamic (work-stealing-counter) assignment and
+ * returns only when every index finished — a barrier.
+ *
+ * Threading model: a shard is only ever touched by one thread at a
+ * time (whichever worker claimed its index), and the barrier provides
+ * the happens-before edge between epochs. Simulation code therefore
+ * stays single-threaded and lock-free; determinism is preserved
+ * because shards share no mutable state and index order never affects
+ * shard-local results.
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tmo::sim
+{
+
+/** Fixed pool of workers running index-parallel rounds. */
+class ShardedExecutor
+{
+  public:
+    /**
+     * @param jobs Total concurrency including the calling thread;
+     *        0 picks the hardware concurrency, 1 runs inline.
+     */
+    explicit ShardedExecutor(unsigned jobs = 0);
+
+    ~ShardedExecutor();
+
+    ShardedExecutor(const ShardedExecutor &) = delete;
+    ShardedExecutor &operator=(const ShardedExecutor &) = delete;
+
+    /** Total concurrency (worker threads + the caller). */
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Run @p fn for every index in [0, n); the caller participates.
+     * Blocks until all indices completed (barrier). Not reentrant.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+  private:
+    void workerLoop();
+    void runIndices();
+
+    unsigned jobs_ = 1;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable workCv_;
+    std::condition_variable doneCv_;
+    const std::function<void(std::size_t)> *fn_ = nullptr;
+    std::size_t n_ = 0;
+    std::size_t next_ = 0;
+    std::size_t busy_ = 0;
+    std::uint64_t round_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace tmo::sim

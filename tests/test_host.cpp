@@ -133,43 +133,44 @@ TEST(HostTest, SetAnonModeSwitchesBackend)
     EXPECT_GT(machine.zswap().usedBytes(), 0u);
 }
 
-TEST(FleetTest, HostsAreIndependentButShareClock)
+TEST(FleetTest, HostsAdvanceInLockstepOnPrivateClocks)
 {
-    sim::Simulation simulation;
-    host::Fleet fleet(simulation);
-    for (int i = 0; i < 4; ++i)
-        fleet.addHost(smallHost(), "node");
+    host::Fleet fleet = host::FleetSpec{}
+                            .hosts(4)
+                            .config(smallHost())
+                            .name_prefix("node")
+                            .workload("feed", 128)
+                            .backend(host::AnonMode::ZSWAP)
+                            .build();
     EXPECT_EQ(fleet.size(), 4u);
-
-    for (std::size_t i = 0; i < fleet.size(); ++i) {
-        auto &app = fleet.host(i).addApp(
-            workload::appPreset("feed", 128ull << 20),
-            host::AnonMode::ZSWAP);
-        app.start();
-    }
     fleet.start();
-    simulation.runUntil(5 * sim::SEC);
-    for (std::size_t i = 0; i < fleet.size(); ++i)
+    fleet.run(5 * sim::SEC);
+    EXPECT_EQ(fleet.now(), 5 * sim::SEC);
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+        // Each shard clock sits exactly at the fleet barrier.
+        EXPECT_EQ(fleet.simulationOf(i).now(), 5 * sim::SEC);
         EXPECT_GT(fleet.host(i).apps()[0]->lastTick().completedRps, 0.0);
+    }
 }
 
 TEST(FleetTest, SeedsDifferAcrossHosts)
 {
-    sim::Simulation simulation;
-    host::Fleet fleet(simulation);
-    auto config = smallHost();
-    auto &a = fleet.addHost(config, "n");
-    auto &b = fleet.addHost(config, "n");
+    host::Fleet fleet;
+    host::HostBuilder builder;
+    builder.config(smallHost());
+    auto &a = fleet.addHost(builder);
+    auto &b = fleet.addHost(builder);
     EXPECT_NE(a.config().seed, b.config().seed);
     EXPECT_NE(a.name(), b.name());
 }
 
 TEST(FleetTest, CollectGathersMetrics)
 {
-    sim::Simulation simulation;
-    host::Fleet fleet(simulation);
-    for (int i = 0; i < 3; ++i)
-        fleet.addHost(smallHost(), "n");
+    host::Fleet fleet = host::FleetSpec{}
+                            .hosts(3)
+                            .config(smallHost())
+                            .name_prefix("n")
+                            .build();
     const auto values = fleet.collect(
         [](host::Host &h) { return static_cast<double>(
             h.memory().ramCapacity()); });

@@ -2,12 +2,18 @@
  * @file
  * tmo_sim — command-line scenario driver.
  *
- * Runs one workload on one simulated host under a chosen offload
- * backend and controller, printing a per-minute series and a final
- * summary. Handy for exploring configurations without writing code:
+ * Runs one workload on a simulated host — or a sharded fleet of them —
+ * under a chosen offload backend and controller, printing a per-minute
+ * series and a final summary. Handy for exploring configurations
+ * without writing code:
  *
  *   tmo_sim --app web --backend zswap --controller senpai --minutes 60
  *   tmo_sim --app ads_b --backend ssd --ssd-class B --csv
+ *   tmo_sim --hosts 64 --jobs 8 --minutes 60        # fleet percentiles
+ *
+ * With --hosts > 1 each host runs on its own shard clock (seeded by
+ * host index) and the per-minute series switches to cross-host
+ * percentiles; --jobs only changes wall-clock time, never the output.
  *
  * Flags (defaults in brackets):
  *   --app NAME           workload preset [feed]
@@ -15,23 +21,29 @@
  *   --ram-mb N           host DRAM [2048]
  *   --backend B          none|ssd|zswap|nvm|cxl|tiered [zswap]
  *   --ssd-class C        SSD device class A-G [C]
- *   --controller C       none|senpai|senpai-aggressive|gswap [senpai]
+ *   --controller C       none|senpai|senpai-aggressive|tmo|gswap [senpai]
  *   --psi-threshold F    Senpai pressure target override
  *   --minutes N          simulated duration [60]
+ *   --hosts N            fleet size [1]
+ *   --jobs N             worker threads for the fleet engine [1]
+ *   --epoch-sec N        lockstep barrier period [60]
  *   --seed N             RNG seed [42]
  *   --csv                machine-readable series output
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
-#include "baseline/gswap.hpp"
-#include "core/senpai.hpp"
-#include "host/host.hpp"
+#include "host/controller_registry.hpp"
+#include "host/fleet.hpp"
 #include "stats/table.hpp"
+#include "stats/timeseries.hpp"
 #include "workload/app_profile.hpp"
 
 using namespace tmo;
@@ -48,6 +60,9 @@ struct Options {
     std::string controller = "senpai";
     double psiThreshold = 0.0; // 0 = keep the config default
     int minutes = 60;
+    std::size_t hosts = 1;
+    unsigned jobs = 1;
+    int epochSec = 60;
     std::uint64_t seed = 42;
     bool csv = false;
 };
@@ -61,9 +76,26 @@ usage()
            "               [--backend none|ssd|zswap|nvm|cxl|tiered] "
            "[--ssd-class A-G]\n"
            "               [--controller "
-           "none|senpai|senpai-aggressive|gswap]\n"
+           "none|senpai|senpai-aggressive|tmo|gswap]\n"
            "               [--psi-threshold F] [--minutes N] "
-           "[--seed N] [--csv]\n";
+           "[--hosts N] [--jobs N]\n"
+           "               [--epoch-sec N] [--seed N] [--csv]\n";
+}
+
+std::optional<host::AnonMode>
+backendMode(const std::string &name)
+{
+    if (name == "none")
+        return host::AnonMode::NONE;
+    if (name == "ssd")
+        return host::AnonMode::SWAP_SSD;
+    if (name == "zswap")
+        return host::AnonMode::ZSWAP;
+    if (name == "nvm" || name == "cxl")
+        return host::AnonMode::NVM;
+    if (name == "tiered")
+        return host::AnonMode::TIERED;
+    return std::nullopt;
 }
 
 bool
@@ -71,7 +103,8 @@ parse(int argc, char **argv, Options &options)
 {
     auto need_value = [&](int &i) -> const char * {
         if (i + 1 >= argc) {
-            std::cerr << "missing value for " << argv[i] << "\n";
+            std::cerr << "tmo_sim: missing value for " << argv[i]
+                      << "\n";
             return nullptr;
         }
         return argv[++i];
@@ -92,39 +125,216 @@ parse(int argc, char **argv, Options &options)
         } else if (flag == "--ram-mb") {
             options.ramMb = std::stoull(value);
         } else if (flag == "--backend") {
+            // Validate now, not after the fleet is built: a typo must
+            // fail fast with a named error.
             options.backend = value;
+            if (!backendMode(options.backend)) {
+                std::cerr << "tmo_sim: unknown backend '"
+                          << options.backend
+                          << "' (expected none|ssd|zswap|nvm|cxl|"
+                             "tiered)\n";
+                return false;
+            }
         } else if (flag == "--ssd-class") {
             options.ssdClass = value[0];
         } else if (flag == "--controller") {
             options.controller = value;
+            if (!host::isKnownController(options.controller)) {
+                std::cerr << "tmo_sim: unknown controller '"
+                          << options.controller << "' (expected ";
+                const auto &names = host::knownControllers();
+                for (std::size_t n = 0; n < names.size(); ++n)
+                    std::cerr << (n ? "|" : "") << names[n];
+                std::cerr << ")\n";
+                return false;
+            }
         } else if (flag == "--psi-threshold") {
             options.psiThreshold = std::stod(value);
         } else if (flag == "--minutes") {
             options.minutes = std::stoi(value);
+        } else if (flag == "--hosts") {
+            options.hosts = std::stoull(value);
+            if (options.hosts == 0) {
+                std::cerr << "tmo_sim: --hosts must be >= 1\n";
+                return false;
+            }
+        } else if (flag == "--jobs") {
+            options.jobs =
+                static_cast<unsigned>(std::stoul(value));
+            if (options.jobs == 0) {
+                std::cerr << "tmo_sim: --jobs must be >= 1\n";
+                return false;
+            }
+        } else if (flag == "--epoch-sec") {
+            options.epochSec = std::stoi(value);
+            if (options.epochSec <= 0) {
+                std::cerr << "tmo_sim: --epoch-sec must be >= 1\n";
+                return false;
+            }
         } else if (flag == "--seed") {
             options.seed = std::stoull(value);
         } else {
-            std::cerr << "unknown flag: " << flag << "\n";
+            std::cerr << "tmo_sim: unknown flag: " << flag << "\n";
             return false;
         }
     }
     return true;
 }
 
-host::AnonMode
-backendMode(const std::string &name)
+// --- per-host metrics (all read at epoch barriers) -----------------------
+
+workload::AppModel &
+primaryApp(host::Host &machine)
 {
-    if (name == "none")
-        return host::AnonMode::NONE;
-    if (name == "ssd")
-        return host::AnonMode::SWAP_SSD;
-    if (name == "zswap")
-        return host::AnonMode::ZSWAP;
-    if (name == "nvm" || name == "cxl")
-        return host::AnonMode::NVM;
-    if (name == "tiered")
-        return host::AnonMode::TIERED;
-    throw std::invalid_argument("unknown backend: " + name);
+    return *machine.apps().front();
+}
+
+double
+savingsPct(host::Host &machine)
+{
+    auto &app = primaryApp(machine);
+    if (!app.allocatedBytes())
+        return 0.0;
+    return 100.0 *
+           (1.0 - static_cast<double>(app.cgroup().memCurrent()) /
+                      static_cast<double>(app.allocatedBytes()));
+}
+
+double
+memPsiAvg60(host::Host &machine)
+{
+    return primaryApp(machine).cgroup().psi().some(psi::Resource::MEM)
+               .avg60 *
+           100.0;
+}
+
+double
+ioPsiAvg60(host::Host &machine)
+{
+    return primaryApp(machine).cgroup().psi().some(psi::Resource::IO)
+               .avg60 *
+           100.0;
+}
+
+void
+printSingleHostMinute(host::Host &machine, int minute, bool csv)
+{
+    if (!csv && minute % 10 != 0)
+        return;
+    auto &app = primaryApp(machine);
+    const double resident_mb =
+        static_cast<double>(app.cgroup().memCurrent()) / (1 << 20);
+    std::cout << minute << "," << stats::fmt(resident_mb, 1) << ","
+              << stats::fmt(savingsPct(machine), 2) << ","
+              << stats::fmt(app.lastTick().completedRps, 0) << ","
+              << stats::fmt(memPsiAvg60(machine), 4) << ","
+              << stats::fmt(ioPsiAvg60(machine), 4) << ","
+              << app.cgroup().stats().pswpin << ","
+              << app.cgroup().stats().wsRefault << "\n";
+}
+
+void
+printFleetMinute(host::Fleet &fleet, int minute, bool csv)
+{
+    if (!csv && minute % 10 != 0)
+        return;
+    const auto savings = fleet.collect(savingsPct);
+    const auto pressure = fleet.collect(memPsiAvg60);
+    const auto rps = fleet.collect([](host::Host &machine) {
+        return primaryApp(machine).lastTick().completedRps;
+    });
+    std::uint64_t swapins = 0;
+    for (std::size_t i = 0; i < fleet.size(); ++i)
+        swapins += primaryApp(fleet.host(i)).cgroup().stats().pswpin;
+    std::cout << minute << ","
+              << stats::fmt(stats::exactQuantile(savings, 0.5), 2)
+              << ","
+              << stats::fmt(stats::exactQuantile(savings, 0.9), 2)
+              << ","
+              << stats::fmt(stats::exactQuantile(savings, 0.99), 2)
+              << "," << stats::fmt(stats::exactQuantile(rps, 0.5), 0)
+              << ","
+              << stats::fmt(stats::exactQuantile(pressure, 0.5), 4)
+              << ","
+              << stats::fmt(stats::exactQuantile(pressure, 0.9), 4)
+              << "," << swapins << "\n";
+}
+
+void
+printSingleHostSummary(host::Host &machine, const Options &options)
+{
+    auto &app = primaryApp(machine);
+    const auto info = machine.memory().info(app.cgroup());
+    stats::Table table("summary");
+    table.setHeader({"metric", "value"});
+    table.addRow({"app", options.app});
+    table.addRow({"backend", options.backend});
+    table.addRow({"controller", machine.controller()
+                                    ? machine.controller()->name()
+                                    : "none"});
+    table.addRow({"allocated", stats::fmtBytes(static_cast<double>(
+                                   app.allocatedBytes()))});
+    table.addRow({"resident (DRAM)",
+                  stats::fmtBytes(static_cast<double>(
+                      info.residentBytes + info.zswapBytes))});
+    table.addRow({"zswap pool", stats::fmtBytes(static_cast<double>(
+                                    info.zswapBytes))});
+    table.addRow({"swap/nvm used",
+                  stats::fmtBytes(static_cast<double>(info.swapBytes))});
+    table.addRow({"ssd bytes written",
+                  stats::fmtBytes(static_cast<double>(
+                      machine.ssd().bytesWritten()))});
+    table.addRow({"oom events",
+                  std::to_string(machine.memory().oomEvents())});
+    if (machine.controller())
+        for (const auto &[label, value] :
+             machine.controller()->statsRow())
+            table.addRow({label, value});
+    table.print(std::cout);
+}
+
+void
+printFleetSummary(host::Fleet &fleet, const Options &options)
+{
+    const auto savings = fleet.collect(savingsPct);
+    const auto pressure = fleet.collect(memPsiAvg60);
+    const auto rps_retention =
+        fleet.collect([](host::Host &machine) {
+            const auto &tick = primaryApp(machine).lastTick();
+            return tick.completedRps / std::max(1.0, tick.offeredRps);
+        });
+    double ssd_written = 0.0;
+    std::uint64_t ooms = 0;
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+        ssd_written +=
+            static_cast<double>(fleet.host(i).ssd().bytesWritten());
+        ooms += fleet.host(i).memory().oomEvents();
+    }
+    stats::Table table("fleet summary");
+    table.setHeader({"metric", "value"});
+    table.addRow({"hosts", std::to_string(fleet.size())});
+    table.addRow({"app", options.app});
+    table.addRow({"backend", options.backend});
+    table.addRow({"controller", fleet.host(0).controller()
+                                    ? fleet.host(0).controller()->name()
+                                    : "none"});
+    table.addRow({"savings% P50",
+                  stats::fmt(stats::exactQuantile(savings, 0.5), 2)});
+    table.addRow({"savings% P90",
+                  stats::fmt(stats::exactQuantile(savings, 0.9), 2)});
+    table.addRow({"savings% P99",
+                  stats::fmt(stats::exactQuantile(savings, 0.99), 2)});
+    table.addRow({"mem PSI avg60% P50",
+                  stats::fmt(stats::exactQuantile(pressure, 0.5), 4)});
+    table.addRow({"mem PSI avg60% P90",
+                  stats::fmt(stats::exactQuantile(pressure, 0.9), 4)});
+    table.addRow(
+        {"rps retention P50",
+         stats::fmtPercent(stats::exactQuantile(rps_retention, 0.5),
+                           1)});
+    table.addRow({"ssd bytes written", stats::fmtBytes(ssd_written)});
+    table.addRow({"oom events", std::to_string(ooms)});
+    table.print(std::cout);
 }
 
 } // namespace
@@ -138,101 +348,59 @@ main(int argc, char **argv)
         return 2;
     }
 
-    sim::Simulation simulation;
-    host::HostConfig config;
-    config.mem.ramBytes = options.ramMb << 20;
-    config.mem.pageBytes = 64 * 1024;
-    config.ssdClass = options.ssdClass;
-    config.nvmPreset = options.backend == "cxl" ? "cxl-dram" : "optane";
-    config.seed = options.seed;
+    host::ControllerOptions controller_options;
+    controller_options.psiThreshold = options.psiThreshold;
 
-    host::Host machine(simulation, config, "cli");
-    workload::AppProfile profile;
+    host::Fleet fleet;
     try {
-        profile =
-            workload::appPreset(options.app, options.footprintMb << 20);
-    } catch (const std::invalid_argument &) {
-        profile = workload::sidecarPreset(options.app,
-                                          options.footprintMb << 20);
-    }
-    auto &app = machine.addApp(profile, backendMode(options.backend));
-    machine.start();
-    app.start();
-
-    std::unique_ptr<core::Senpai> senpai;
-    std::unique_ptr<baseline::GswapController> gswap;
-    if (options.controller == "senpai" ||
-        options.controller == "senpai-aggressive") {
-        auto sc = options.controller == "senpai"
-                      ? core::senpaiProductionConfig()
-                      : core::senpaiAggressiveConfig();
-        sc.source = core::PressureSource::AVG60;
-        if (options.psiThreshold > 0.0)
-            sc.psiThreshold = options.psiThreshold;
-        senpai = std::make_unique<core::Senpai>(
-            simulation, machine.memory(), app.cgroup(), sc);
-        senpai->start();
-    } else if (options.controller == "gswap") {
-        gswap = std::make_unique<baseline::GswapController>(
-            simulation, machine.memory(), app.cgroup());
-        gswap->start();
-    } else if (options.controller != "none") {
-        std::cerr << "unknown controller: " << options.controller
-                  << "\n";
+        fleet =
+            host::FleetSpec{}
+                .hosts(options.hosts)
+                .epoch(static_cast<sim::SimTime>(options.epochSec) *
+                       sim::SEC)
+                .name_prefix("cli")
+                .ram_mb(options.ramMb)
+                .page_kb(64)
+                .ssd_class(options.ssdClass)
+                .nvm_preset(options.backend == "cxl" ? "cxl-dram"
+                                                     : "optane")
+                .seed(options.seed)
+                .backend(*backendMode(options.backend))
+                .workload(options.app, options.footprintMb)
+                .controller(host::controllerFactoryFor(
+                    options.controller, controller_options))
+                .build();
+    } catch (const std::invalid_argument &error) {
+        std::cerr << "tmo_sim: " << error.what() << "\n";
+        usage();
         return 2;
     }
+    fleet.start();
 
+    const bool fleet_mode = fleet.size() > 1;
     if (options.csv) {
-        std::cout << "minute,resident_mb,savings_pct,rps,"
-                     "mem_psi_avg60,io_psi_avg60,swapins,refaults\n";
+        std::cout << (fleet_mode
+                          ? "minute,savings_p50,savings_p90,"
+                            "savings_p99,rps_p50,mem_psi_p50,"
+                            "mem_psi_p90,swapins_total\n"
+                          : "minute,resident_mb,savings_pct,rps,"
+                            "mem_psi_avg60,io_psi_avg60,swapins,"
+                            "refaults\n");
     }
     for (int minute = 1; minute <= options.minutes; ++minute) {
-        simulation.runUntil(static_cast<sim::SimTime>(minute) *
-                            sim::MINUTE);
-        if (!options.csv && minute % 10 != 0)
-            continue;
-        const double resident_mb =
-            static_cast<double>(app.cgroup().memCurrent()) / (1 << 20);
-        const double savings =
-            app.allocatedBytes()
-                ? 100.0 * (1.0 -
-                           static_cast<double>(app.cgroup().memCurrent()) /
-                               static_cast<double>(app.allocatedBytes()))
-                : 0.0;
-        const auto mem = app.cgroup().psi().some(psi::Resource::MEM);
-        const auto io = app.cgroup().psi().some(psi::Resource::IO);
-        std::cout << minute << "," << stats::fmt(resident_mb, 1) << ","
-                  << stats::fmt(savings, 2) << ","
-                  << stats::fmt(app.lastTick().completedRps, 0) << ","
-                  << stats::fmt(mem.avg60 * 100, 4) << ","
-                  << stats::fmt(io.avg60 * 100, 4) << ","
-                  << app.cgroup().stats().pswpin << ","
-                  << app.cgroup().stats().wsRefault << "\n";
+        fleet.run(static_cast<sim::SimTime>(minute) * sim::MINUTE,
+                  options.jobs);
+        if (fleet_mode)
+            printFleetMinute(fleet, minute, options.csv);
+        else
+            printSingleHostMinute(fleet.host(0), minute, options.csv);
     }
 
     if (!options.csv) {
-        const auto info = machine.memory().info(app.cgroup());
-        stats::Table table("summary");
-        table.setHeader({"metric", "value"});
-        table.addRow({"app", options.app});
-        table.addRow({"backend", options.backend});
-        table.addRow({"controller", options.controller});
-        table.addRow({"allocated", stats::fmtBytes(static_cast<double>(
-                                       app.allocatedBytes()))});
-        table.addRow({"resident (DRAM)",
-                      stats::fmtBytes(static_cast<double>(
-                          info.residentBytes + info.zswapBytes))});
-        table.addRow({"zswap pool", stats::fmtBytes(static_cast<double>(
-                                        info.zswapBytes))});
-        table.addRow({"swap/nvm used",
-                      stats::fmtBytes(
-                          static_cast<double>(info.swapBytes))});
-        table.addRow({"ssd bytes written",
-                      stats::fmtBytes(static_cast<double>(
-                          machine.ssd().bytesWritten()))});
-        table.addRow({"oom events",
-                      std::to_string(machine.memory().oomEvents())});
-        table.print(std::cout);
+        if (fleet_mode)
+            printFleetSummary(fleet, options);
+        else
+            printSingleHostSummary(fleet.host(0), options);
     }
     return 0;
 }
