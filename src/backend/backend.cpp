@@ -1,0 +1,26 @@
+#include "backend/backend.hpp"
+
+namespace tmo::backend
+{
+
+const char *
+backendStatusName(BackendStatus status)
+{
+    switch (status) {
+      case BackendStatus::HEALTHY:
+        return "healthy";
+      case BackendStatus::DEGRADED:
+        return "degraded";
+      case BackendStatus::FAILED:
+        return "failed";
+    }
+    return "?";
+}
+
+BackendStatus
+worseStatus(BackendStatus a, BackendStatus b)
+{
+    return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+} // namespace tmo::backend

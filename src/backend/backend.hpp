@@ -19,6 +19,29 @@
 namespace tmo::backend
 {
 
+/**
+ * Health of an offload backend (§4: swap exhaustion, device wear,
+ * IO-pressure incidents). Backends surface degradation explicitly so
+ * controllers can back off and the kernel-side reclaimer can fall back
+ * to file-only reclaim instead of silently absorbing errors.
+ */
+enum class BackendStatus {
+    /** Operating normally. */
+    HEALTHY,
+    /** Usable but impaired: latency spikes, write errors, nearly full
+     *  capacity, worn-out device. Controllers should back off. */
+    DEGRADED,
+    /** Cannot accept new pages (offline device, exhausted slots);
+     *  reclaim must proceed file-only. */
+    FAILED,
+};
+
+/** Human-readable status name ("healthy", "degraded", "failed"). */
+const char *backendStatusName(BackendStatus status);
+
+/** The worse of two statuses. */
+BackendStatus worseStatus(BackendStatus a, BackendStatus b);
+
 /** Result of storing (offloading) one page. */
 struct StoreResult {
     /** False when the backend refused the page (incompressible page on
@@ -52,6 +75,17 @@ class OffloadBackend
 
     /** Backend name for reports. */
     virtual const std::string &name() const = 0;
+
+    /**
+     * Current health. Backends without failure modes stay HEALTHY;
+     * implementations with devices or capacity report DEGRADED/FAILED
+     * so callers degrade gracefully instead of spinning on rejected
+     * stores.
+     */
+    virtual BackendStatus status() const
+    {
+        return BackendStatus::HEALTHY;
+    }
 
     /**
      * Offload one page of @p page_bytes.

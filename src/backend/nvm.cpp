@@ -18,7 +18,14 @@ nvmSpecPreset(const std::string &name)
         // CXL-attached DRAM: close-to-DDR performance (§1).
         return {"cxl-dram", 0.6, 1.5, 0.8, 64ull << 30, 4096};
     }
-    throw std::invalid_argument("unknown NVM preset: " + name);
+    throw std::invalid_argument("unknown NVM preset '" + name +
+                                "' (expected optane|cxl-dram)");
+}
+
+bool
+isKnownNvmPreset(const std::string &name)
+{
+    return name == "optane" || name == "cxl-dram";
 }
 
 NvmBackend::NvmBackend(NvmSpec spec, std::uint64_t seed)

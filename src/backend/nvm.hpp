@@ -42,6 +42,9 @@ struct NvmSpec {
  */
 NvmSpec nvmSpecPreset(const std::string &name);
 
+/** True when @p name is a known NVM preset (parse-time validation). */
+bool isKnownNvmPreset(const std::string &name);
+
 /** Byte-addressable slow-memory tier. */
 class NvmBackend : public OffloadBackend
 {

@@ -36,13 +36,50 @@ ssdSpecForClass(char device_class)
         return {"ssd-G", 70.0, 470.0, 22.0, 900.0,
                 550e3, 180e3, 4500.0, 2ull << 40};
       default:
-        throw std::invalid_argument("unknown SSD class");
+        throw std::invalid_argument(
+            std::string("unknown SSD class '") + device_class +
+            "' (expected A-G)");
     }
 }
 
+bool
+isValidSsdClass(char device_class)
+{
+    return device_class >= 'A' && device_class <= 'G';
+}
+
 SsdDevice::SsdDevice(SsdSpec spec, std::uint64_t seed)
-    : spec_(std::move(spec)), rng_(seed)
+    : spec_(std::move(spec)), rng_(seed), faultRng_(seed ^ 0x5afa5afaull)
 {}
+
+void
+SsdDevice::injectLatencyMultiplier(double factor)
+{
+    latencyMultiplier_ = std::max(1.0, factor);
+}
+
+void
+SsdDevice::setWriteErrorRate(double rate)
+{
+    writeErrorRate_ = std::clamp(rate, 0.0, 1.0);
+}
+
+bool
+SsdDevice::sampleWriteError()
+{
+    if (writeErrorRate_ <= 0.0)
+        return false;
+    return faultRng_.chance(writeErrorRate_);
+}
+
+void
+SsdDevice::injectWearFraction(double fraction)
+{
+    if (fraction <= 0.0)
+        return;
+    wearInjectedBytes_ += static_cast<std::uint64_t>(
+        fraction * spec_.enduranceTbw * 1e12);
+}
 
 sim::SimTime
 SsdDevice::service(std::uint64_t bytes, double iops, double median_us,
@@ -61,6 +98,7 @@ SsdDevice::service(std::uint64_t bytes, double iops, double median_us,
 
     const sim::SimTime queue_delay = start - now;
     const auto device_latency = sim::fromUsec(
+        latencyMultiplier_ *
         rng_.lognormalMedianP99(median_us, p99_us / median_us));
     return queue_delay + service_time + device_latency;
 }
@@ -78,8 +116,10 @@ SsdDevice::read(std::uint64_t bytes, sim::SimTime now)
     const auto svc_one = sim::fromSeconds(1.0 / spec_.readIops);
     const sim::SimTime start = std::max(readBusyUntil_, now);
     const sim::SimTime queue_delay = start - now;
-    const auto dev_one = sim::fromUsec(rng_.lognormalMedianP99(
-        spec_.readMedianUs, spec_.readP99Us / spec_.readMedianUs));
+    const auto dev_one = sim::fromUsec(
+        latencyMultiplier_ *
+        rng_.lognormalMedianP99(spec_.readMedianUs,
+                                spec_.readP99Us / spec_.readMedianUs));
     const auto per_unit = svc_one + dev_one;
     const sim::SimTime latency =
         queue_delay + static_cast<sim::SimTime>(
@@ -110,7 +150,8 @@ double
 SsdDevice::enduranceUsed() const
 {
     const double tbw =
-        static_cast<double>(bytesWritten_) / 1e12; // terabytes
+        static_cast<double>(bytesWritten_ + wearInjectedBytes_) /
+        1e12; // terabytes
     return tbw / spec_.enduranceTbw;
 }
 

@@ -53,6 +53,10 @@ struct SsdSpec {
  */
 SsdSpec ssdSpecForClass(char device_class);
 
+/** True when @p device_class names a fleet class ('A'..'G'). Use for
+ *  parse-time CLI validation, before any host is built. */
+bool isValidSsdClass(char device_class);
+
 /**
  * Queued SSD device instance. Reads and writes are serviced from
  * separate (read-prioritized) capacity pools; latency observed by a
@@ -96,6 +100,44 @@ class SsdDevice
     /** Clear latency histogram and rate meters (not endurance). */
     void resetStats();
 
+    // --- fault injection (§4 incidents, driven by fault::FaultInjector) --
+
+    /**
+     * Multiply sampled device latency by @p factor (>= 1; 1 restores
+     * nominal service). Models firmware stalls / thermal throttling /
+     * internal GC latency spikes.
+     */
+    void injectLatencyMultiplier(double factor);
+    double latencyMultiplier() const { return latencyMultiplier_; }
+
+    /** Take the device offline / bring it back. While offline the swap
+     *  partition rejects stores and serves loads via an error-recovery
+     *  penalty path. */
+    void setOffline(bool offline) { offline_ = offline; }
+    bool offline() const { return offline_; }
+
+    /** Fraction of writes that fail with an IO error, in [0, 1]. */
+    void setWriteErrorRate(double rate);
+    double writeErrorRate() const { return writeErrorRate_; }
+
+    /**
+     * Deterministically sample whether the next write fails. Draws from
+     * a dedicated fault RNG only while a nonzero error rate is armed,
+     * so fault-free runs consume an identical random stream.
+     */
+    bool sampleWriteError();
+
+    /** Consume @p fraction of the rated endurance at once (wear-out
+     *  injection; does not count as host-written bytes). */
+    void injectWearFraction(double fraction);
+
+    /** True when any injected or accumulated impairment is active. */
+    bool degraded() const
+    {
+        return offline_ || latencyMultiplier_ > 1.0 ||
+               writeErrorRate_ > 0.0 || enduranceUsed() >= 1.0;
+    }
+
   private:
     /** Queue-aware service: returns latency and advances busy time. */
     sim::SimTime service(std::uint64_t bytes, double iops,
@@ -104,9 +146,16 @@ class SsdDevice
 
     SsdSpec spec_;
     sim::Rng rng_;
+    /** Separate stream for fault sampling: leaves the latency stream
+     *  of fault-free runs untouched. */
+    sim::Rng faultRng_;
     sim::SimTime readBusyUntil_ = 0;
     sim::SimTime writeBusyUntil_ = 0;
     std::uint64_t bytesWritten_ = 0;
+    std::uint64_t wearInjectedBytes_ = 0;
+    double latencyMultiplier_ = 1.0;
+    double writeErrorRate_ = 0.0;
+    bool offline_ = false;
     stats::Histogram readLatency_{0.1, 1e7, 20}; // microseconds
     stats::RateMeter readRate_;
     stats::RateMeter writeRate_;

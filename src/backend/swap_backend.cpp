@@ -1,7 +1,19 @@
 #include "backend/swap_backend.hpp"
 
+#include <algorithm>
+
 namespace tmo::backend
 {
+
+namespace
+{
+
+/** Error-recovery stall for a load hitting an offline device: the
+ *  kernel retries, times out, and falls back — a fixed, deterministic
+ *  penalty far above any healthy device latency. */
+constexpr sim::SimTime OFFLINE_LOAD_PENALTY_US = 50'000;
+
+} // namespace
 
 SwapBackend::SwapBackend(SsdDevice &device, std::uint64_t capacity_bytes)
     : device_(device),
@@ -9,11 +21,30 @@ SwapBackend::SwapBackend(SsdDevice &device, std::uint64_t capacity_bytes)
       capacityBytes_(capacity_bytes)
 {}
 
+BackendStatus
+SwapBackend::status() const
+{
+    if (device_.offline())
+        return BackendStatus::FAILED;
+    // No slot left at all: anon offloading is impossible and reclaim
+    // must proceed file-only (§4 swap exhaustion).
+    if (capacityBytes_ < 4096 || usedBytes_ >= capacityBytes_)
+        return BackendStatus::FAILED;
+    if (device_.degraded() || utilization() >= 0.95)
+        return BackendStatus::DEGRADED;
+    return BackendStatus::HEALTHY;
+}
+
 StoreResult
 SwapBackend::store(std::uint64_t page_bytes, double /* compressibility */,
                    sim::SimTime now)
 {
     StoreResult result;
+    if (device_.offline() || device_.sampleWriteError()) {
+        ++storeErrors_; // IO error: page stays resident
+        result.accepted = false;
+        return result;
+    }
     if (usedBytes_ + page_bytes > capacityBytes_) {
         result.accepted = false; // swap exhausted
         return result;
@@ -30,9 +61,24 @@ SwapBackend::load(std::uint64_t stored_bytes, sim::SimTime now)
 {
     release(stored_bytes);
     LoadResult result;
+    if (device_.offline()) {
+        // The slot's content is unreachable; the faulting task eats a
+        // timeout-and-retry stall instead of a device read.
+        ++loadErrors_;
+        result.latency = sim::fromUsec(
+            static_cast<double>(OFFLINE_LOAD_PENALTY_US));
+        result.blockIo = true;
+        return result;
+    }
     result.latency = device_.read(stored_bytes, now);
     result.blockIo = true;
     return result;
+}
+
+void
+SwapBackend::setCapacityBytes(std::uint64_t capacity_bytes)
+{
+    capacityBytes_ = capacity_bytes;
 }
 
 void

@@ -30,6 +30,13 @@ class SwapBackend : public OffloadBackend
 
     const std::string &name() const override { return name_; }
 
+    /**
+     * Health of the partition: FAILED when the device is offline or no
+     * slot is left (exhaustion, §4), DEGRADED when the device is
+     * impaired or the partition is nearly full.
+     */
+    BackendStatus status() const override;
+
     StoreResult store(std::uint64_t page_bytes, double compressibility,
                       sim::SimTime now) override;
 
@@ -47,12 +54,31 @@ class SwapBackend : public OffloadBackend
 
     /** The underlying device. */
     SsdDevice &device() { return device_; }
+    const SsdDevice &device() const { return device_; }
+
+    /** Partition size. */
+    std::uint64_t capacityBytes() const { return capacityBytes_; }
+
+    /**
+     * Shrink (or grow) the partition. Slots already in use survive a
+     * shrink — utilization can then exceed 1 and the backend reports
+     * FAILED until loads drain it (swap-slot exhaustion injection).
+     */
+    void setCapacityBytes(std::uint64_t capacity_bytes);
+
+    /** Stores rejected with an IO error (offline device, write error). */
+    std::uint64_t storeErrors() const { return storeErrors_; }
+
+    /** Loads served through the error-recovery penalty path. */
+    std::uint64_t loadErrors() const { return loadErrors_; }
 
   private:
     SsdDevice &device_;
     std::string name_;
     std::uint64_t capacityBytes_;
     std::uint64_t usedBytes_ = 0;
+    std::uint64_t storeErrors_ = 0;
+    std::uint64_t loadErrors_ = 0;
 };
 
 } // namespace tmo::backend

@@ -18,7 +18,14 @@ compressorPreset(const std::string &name)
         return {"lz4", 0.78, 4.5, 2.5};
     if (name == "zstd")
         return {"zstd", 1.00, 11.0, 6.0};
-    throw std::invalid_argument("unknown compressor: " + name);
+    throw std::invalid_argument("unknown compressor '" + name +
+                                "' (expected lzo|lz4|zstd)");
+}
+
+bool
+isKnownCompressor(const std::string &name)
+{
+    return name == "lzo" || name == "lz4" || name == "zstd";
 }
 
 AllocatorSpec
@@ -30,7 +37,14 @@ allocatorPreset(const std::string &name)
         return {"z3fold", 1.0 / 3.0, 1.03};
     if (name == "zsmalloc")
         return {"zsmalloc", 0.0, 1.05};
-    throw std::invalid_argument("unknown allocator: " + name);
+    throw std::invalid_argument("unknown allocator '" + name +
+                                "' (expected zbud|z3fold|zsmalloc)");
+}
+
+bool
+isKnownAllocator(const std::string &name)
+{
+    return name == "zbud" || name == "z3fold" || name == "zsmalloc";
 }
 
 ZswapPool::ZswapPool(ZswapConfig config, std::uint64_t seed)
@@ -39,6 +53,28 @@ ZswapPool::ZswapPool(ZswapConfig config, std::uint64_t seed)
             config_.allocator.name),
       rng_(seed)
 {}
+
+BackendStatus
+ZswapPool::status() const
+{
+    if (stallUs_ > 0.0)
+        return BackendStatus::DEGRADED;
+    if (config_.maxPoolBytes && usedBytes_ >= config_.maxPoolBytes)
+        return BackendStatus::DEGRADED;
+    return BackendStatus::HEALTHY;
+}
+
+void
+ZswapPool::setMaxPoolBytes(std::uint64_t max_pool_bytes)
+{
+    config_.maxPoolBytes = max_pool_bytes;
+}
+
+void
+ZswapPool::setStallUs(double stall_us)
+{
+    stallUs_ = std::max(0.0, stall_us);
+}
 
 StoreResult
 ZswapPool::store(std::uint64_t page_bytes, double compressibility,
@@ -80,8 +116,8 @@ ZswapPool::store(std::uint64_t page_bytes, double compressibility,
     result.storedBytes = static_cast<std::uint64_t>(compressed);
     const double pages4k =
         std::max(1.0, static_cast<double>(page_bytes) / 4096.0);
-    result.latency =
-        sim::fromUsec(config_.compressor.compressUs * pages4k);
+    result.latency = sim::fromUsec(
+        config_.compressor.compressUs * pages4k + stallUs_);
 
     usedBytes_ += result.storedBytes;
     ++storedPages_;
@@ -104,7 +140,8 @@ ZswapPool::load(std::uint64_t stored_bytes, sim::SimTime /* now */)
     const double us = config_.faultOverheadUs +
                       config_.compressor.decompressUs;
     result.latency = sim::fromUsec(
-        units * std::max(1.0, rng_.normal(us * 0.85, us * 0.15)));
+        units * std::max(1.0, rng_.normal(us * 0.85, us * 0.15)) +
+        stallUs_);
     result.blockIo = false;
     return result;
 }

@@ -50,8 +50,14 @@ struct AllocatorSpec {
 /** Named compressor presets: "lzo", "lz4", "zstd". */
 CompressorSpec compressorPreset(const std::string &name);
 
+/** True when @p name is a known compressor (parse-time validation). */
+bool isKnownCompressor(const std::string &name);
+
 /** Named allocator presets: "zbud", "z3fold", "zsmalloc". */
 AllocatorSpec allocatorPreset(const std::string &name);
+
+/** True when @p name is a known allocator (parse-time validation). */
+bool isKnownAllocator(const std::string &name);
 
 /** Configuration of a zswap pool. */
 struct ZswapConfig {
@@ -92,6 +98,10 @@ class ZswapPool : public OffloadBackend
 
     const std::string &name() const override { return name_; }
 
+    /** DEGRADED while a compaction stall is injected or the pool cap
+     *  is exhausted (stores bounce); never FAILED — loads always work. */
+    BackendStatus status() const override;
+
     StoreResult store(std::uint64_t page_bytes, double compressibility,
                       sim::SimTime now) override;
 
@@ -120,6 +130,17 @@ class ZswapPool : public OffloadBackend
 
     const ZswapConfig &config() const { return config_; }
 
+    // --- fault injection -------------------------------------------------
+
+    /** Shrink (or lift, with 0 = unbounded) the pool cap at runtime;
+     *  pages already stored stay until faulted back. */
+    void setMaxPoolBytes(std::uint64_t max_pool_bytes);
+
+    /** Add a fixed stall to every store/load (allocator compaction
+     *  stall injection); 0 clears it. */
+    void setStallUs(double stall_us);
+    double stallUs() const { return stallUs_; }
+
   private:
     ZswapConfig config_;
     std::string name_;
@@ -127,6 +148,7 @@ class ZswapPool : public OffloadBackend
     std::uint64_t usedBytes_ = 0;
     std::uint64_t storedPages_ = 0;
     std::uint64_t rejectedPages_ = 0;
+    double stallUs_ = 0.0;
 };
 
 } // namespace tmo::backend

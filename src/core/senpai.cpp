@@ -58,15 +58,32 @@ Senpai::stop()
     event_ = sim::INVALID_EVENT;
 }
 
+backend::BackendStatus
+Senpai::backendStatus() const
+{
+    const auto &mcg = mm_.memcgOf(*cg_);
+    auto status = backend::BackendStatus::HEALTHY;
+    if (mcg.anonBackend)
+        status = backend::worseStatus(status, mcg.anonBackend->status());
+    if (mcg.anonColdBackend)
+        status = backend::worseStatus(status,
+                                      mcg.anonColdBackend->status());
+    return status;
+}
+
 StatsRow
 Senpai::statsRow() const
 {
-    return {
+    StatsRow rows = {
         {"senpai[" + cg_->name() + "] requested",
          stats::fmtBytes(static_cast<double>(totalRequested_))},
         {"senpai[" + cg_->name() + "] last pressure",
          stats::fmtPercent(pressure_.last(), 4)},
     };
+    if (degradedTicks_ > 0)
+        rows.push_back({"senpai[" + cg_->name() + "] degraded ticks",
+                        std::to_string(degradedTicks_)});
+    return rows;
 }
 
 void
@@ -140,6 +157,16 @@ Senpai::tick()
     if (mcg.anonBackend &&
         mcg.anonBackend->utilization() > config_.swapHighWatermark) {
         reclaim *= 0.5;
+    }
+
+    // Graceful degradation (§4): when the backend reports itself
+    // DEGRADED or FAILED, back off the probe. A FAILED backend also
+    // switches the kernel-side reclaimer to file-only (see
+    // mem/reclaim.cpp), so the halved step keeps probing the file
+    // cache rather than spinning on rejected swap-outs.
+    if (backendStatus() != backend::BackendStatus::HEALTHY) {
+        reclaim *= 0.5;
+        ++degradedTicks_;
     }
 
     // Step cap: at most maxProbeRatio of the workload per interval.

@@ -128,6 +128,13 @@ class Senpai final : public Controller
     /** Total bytes requested for reclaim so far. */
     std::uint64_t totalRequested() const { return totalRequested_; }
 
+    /** Ticks spent backing off because the anon backend reported
+     *  DEGRADED or FAILED (graceful degradation, §4). */
+    std::uint64_t degradedTicks() const { return degradedTicks_; }
+
+    /** The controlled cgroup's worst anon-backend status right now. */
+    backend::BackendStatus backendStatus() const;
+
   private:
     void tick();
 
@@ -144,6 +151,7 @@ class Senpai final : public Controller
     sim::SimTime lastTick_ = 0;
     double lastSwapoutTotal_ = 0.0;
     std::uint64_t totalRequested_ = 0;
+    std::uint64_t degradedTicks_ = 0;
     stats::TimeSeries reclaimed_{"senpai_reclaim_bytes"};
     stats::TimeSeries pressure_{"senpai_psi_some_mem"};
 };

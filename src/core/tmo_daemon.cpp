@@ -46,6 +46,11 @@ TmoDaemon::startAll()
 {
     for (auto &s : senpais_)
         s->start();
+    if (!healthRunning_) {
+        healthRunning_ = true;
+        healthEvent_ =
+            sim_.after(base_.interval, [this] { healthTick(); });
+    }
 }
 
 void
@@ -53,6 +58,48 @@ TmoDaemon::stopAll()
 {
     for (auto &s : senpais_)
         s->stop();
+    if (healthRunning_) {
+        healthRunning_ = false;
+        sim_.events().cancel(healthEvent_);
+        healthEvent_ = sim::INVALID_EVENT;
+    }
+    if (oomd_)
+        oomd_->stop();
+}
+
+backend::BackendStatus
+TmoDaemon::worstBackendStatus() const
+{
+    auto status = backend::BackendStatus::HEALTHY;
+    for (const auto &s : senpais_)
+        status = backend::worseStatus(status, s->backendStatus());
+    return status;
+}
+
+void
+TmoDaemon::healthTick()
+{
+    if (!healthRunning_)
+        return;
+    if (worstBackendStatus() != backend::BackendStatus::HEALTHY) {
+        if (!oomd_) {
+            oomd_ = std::make_unique<OomdLite>(sim_);
+            for (auto &s : senpais_) {
+                cgroup::Cgroup *cg = &s->cgroup();
+                oomd_->watch(*cg, [this, cg] {
+                    // Functional OOM under a degraded backend: shed
+                    // half the container's memory (the simulator's
+                    // stand-in for a workload restart).
+                    cg->memoryReclaim(cg->memCurrent() / 2,
+                                      sim_.now());
+                });
+            }
+        }
+        oomd_->start();
+    } else if (oomd_) {
+        oomd_->stop();
+    }
+    healthEvent_ = sim_.after(base_.interval, [this] { healthTick(); });
 }
 
 bool

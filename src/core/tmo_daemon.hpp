@@ -17,6 +17,7 @@
 
 #include "cgroup/cgroup.hpp"
 #include "core/controller.hpp"
+#include "core/oomd_lite.hpp"
 #include "core/senpai.hpp"
 #include "mem/memory_manager.hpp"
 #include "sim/simulation.hpp"
@@ -73,11 +74,32 @@ class TmoDaemon final : public Controller
     /** Derive the priority-scaled config for a container. */
     SenpaiConfig configFor(const cgroup::Cgroup &cg) const;
 
+    /** Worst backend status across managed containers. */
+    backend::BackendStatus worstBackendStatus() const;
+
+    /** Emergency reclaims performed by the oomd escalation path. */
+    std::uint64_t escalations() const
+    {
+        return oomd_ ? oomd_->kills() : 0;
+    }
+
   private:
+    /**
+     * Periodic health check: while any managed container's backend is
+     * degraded or failed, an OomdLite watcher is armed over the
+     * managed containers — if pressure then persists at functional-OOM
+     * levels, it emergency-shrinks the container (§3.2.4 escalation).
+     * Inert in fault-free runs.
+     */
+    void healthTick();
+
     sim::Simulation &sim_;
     mem::MemoryManager &mm_;
     SenpaiConfig base_;
     std::vector<std::unique_ptr<Senpai>> senpais_;
+    std::unique_ptr<OomdLite> oomd_;
+    bool healthRunning_ = false;
+    sim::EventId healthEvent_ = sim::INVALID_EVENT;
 };
 
 } // namespace tmo::core

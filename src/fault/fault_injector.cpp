@@ -1,0 +1,135 @@
+#include "fault/fault_injector.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "backend/swap_backend.hpp"
+#include "backend/zswap.hpp"
+#include "sim/time.hpp"
+
+namespace tmo::fault
+{
+
+namespace
+{
+
+constexpr double MIB = 1024.0 * 1024.0;
+
+std::uint64_t
+mib(double value)
+{
+    return static_cast<std::uint64_t>(std::max(0.0, value) * MIB);
+}
+
+} // namespace
+
+backend::BackendStatus
+hostBackendStatus(host::Host &machine)
+{
+    return backend::worseStatus(machine.swap().status(),
+                                machine.zswap().status());
+}
+
+std::uint64_t
+hostDegradationEvents(host::Host &machine)
+{
+    return machine.swap().storeErrors() + machine.swap().loadErrors() +
+           machine.zswap().rejectedPages();
+}
+
+FaultInjector::FaultInjector(host::Host &machine, FaultPlan plan)
+    : host_(machine), plan_(std::move(plan))
+{}
+
+void
+FaultInjector::arm()
+{
+    if (armed_)
+        return;
+    armed_ = true;
+    auto &sim = host_.simulation();
+    for (const auto &event : plan_.events) {
+        const sim::SimTime at = std::max(event.at, sim.now());
+        sim.at(at, [this, event] { apply(event); });
+    }
+}
+
+void
+FaultInjector::apply(const FaultEvent &event)
+{
+    ++injected_;
+    ++perKind_[static_cast<std::size_t>(event.kind)];
+
+    auto &sim = host_.simulation();
+    switch (event.kind) {
+      case FaultKind::SSD_LATENCY:
+        host_.ssd().injectLatencyMultiplier(std::max(1.0, event.arg));
+        break;
+      case FaultKind::SSD_WEAR:
+        host_.ssd().injectWearFraction(std::max(0.0, event.arg));
+        break;
+      case FaultKind::SSD_WRITE_ERROR:
+        host_.ssd().setWriteErrorRate(
+            std::clamp(event.arg, 0.0, 1.0));
+        break;
+      case FaultKind::SSD_OFFLINE:
+        host_.ssd().setOffline(true);
+        break;
+      case FaultKind::SSD_ONLINE:
+        host_.ssd().setOffline(false);
+        host_.ssd().injectLatencyMultiplier(1.0);
+        host_.ssd().setWriteErrorRate(0.0);
+        break;
+      case FaultKind::ZSWAP_CAP:
+        host_.zswap().setMaxPoolBytes(mib(event.arg));
+        break;
+      case FaultKind::ZSWAP_STALL:
+        host_.zswap().setStallUs(std::max(0.0, event.arg));
+        break;
+      case FaultKind::SWAP_EXHAUST: {
+        auto &swap = host_.swap();
+        const double fraction = std::clamp(event.arg, 0.0, 1.0);
+        const auto shrunk = static_cast<std::uint64_t>(
+            fraction * static_cast<double>(swap.capacityBytes()));
+        swap.setCapacityBytes(std::max<std::uint64_t>(shrunk, 4096));
+        break;
+      }
+      case FaultKind::CONTROLLER_STALL:
+      case FaultKind::CONTROLLER_CRASH: {
+        core::Controller *controller = host_.controller();
+        if (!controller)
+            break;
+        controller->stop();
+        // Both faults silence the control loop; the restart models
+        // systemd bringing the daemon back after `arg` seconds.
+        const auto outage =
+            sim::fromSeconds(std::max(0.0, event.arg));
+        sim.after(outage, [this] {
+            if (auto *c = host_.controller())
+                c->start();
+        });
+        break;
+      }
+      case FaultKind::RAM_SHRINK: {
+        const std::uint64_t cap = host_.memory().ramCapacity();
+        const std::uint64_t loss = mib(event.arg);
+        host_.memory().setRamBytes(cap > loss ? cap - loss : 0);
+        break;
+      }
+    }
+}
+
+core::StatsRow
+FaultInjector::statsRow() const
+{
+    core::StatsRow rows;
+    rows.emplace_back("faults injected", std::to_string(injected_));
+    rows.emplace_back("backend status",
+                      backend::backendStatusName(
+                          hostBackendStatus(host_)));
+    rows.emplace_back("degradation events",
+                      std::to_string(hostDegradationEvents(host_)));
+    return rows;
+}
+
+} // namespace tmo::fault

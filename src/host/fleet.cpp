@@ -91,8 +91,22 @@ Fleet::run(sim::SimTime deadline, unsigned jobs)
         // barrier is the only cross-shard synchronization point;
         // within the epoch each shard runs single-threaded on its own
         // clock, so results cannot depend on jobs or epoch length.
+        // A shard that throws is marked failed and frozen — exactly
+        // one host's experiment is lost, not the fleet's. Each lane
+        // touches only its own shard, so the flag needs no locking.
         const auto step = [this, target](std::size_t i) {
-            shards_[i].sim->runUntil(target);
+            Shard &shard = shards_[i];
+            if (shard.failed)
+                return;
+            try {
+                shard.sim->runUntil(target);
+            } catch (const std::exception &error) {
+                shard.failed = true;
+                shard.error = error.what();
+            } catch (...) {
+                shard.failed = true;
+                shard.error = "unknown error";
+            }
         };
         if (parallel) {
             executor_->parallelFor(shards_.size(), step);
@@ -102,6 +116,15 @@ Fleet::run(sim::SimTime deadline, unsigned jobs)
         }
         now_ = target;
     }
+}
+
+std::size_t
+Fleet::failedCount() const
+{
+    std::size_t count = 0;
+    for (const auto &shard : shards_)
+        count += shard.failed ? 1 : 0;
+    return count;
 }
 
 std::vector<double>

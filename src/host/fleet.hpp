@@ -16,8 +16,10 @@
 
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "host/fleet_spec.hpp"
@@ -73,6 +75,26 @@ class Fleet
     std::size_t size() const { return shards_.size(); }
     Host &host(std::size_t i) { return *shards_[i].host; }
 
+    // --- per-host failure isolation --------------------------------------
+
+    /**
+     * True when host @p i threw out of its event loop. A failed host
+     * is frozen at the time of its failure and skipped by later
+     * epochs; the rest of the fleet keeps running (one bad host must
+     * not abort a fleet experiment, §4 operational stance).
+     */
+    bool hostFailed(std::size_t i) const { return shards_[i].failed; }
+
+    /** The failure message of host @p i (empty while healthy). */
+    const std::string &
+    hostError(std::size_t i) const
+    {
+        return shards_[i].error;
+    }
+
+    /** Number of hosts currently failed. */
+    std::size_t failedCount() const;
+
     /** The shard clock owning host @p i. */
     sim::Simulation &simulationOf(std::size_t i)
     {
@@ -93,6 +115,10 @@ class Fleet
     struct Shard {
         std::unique_ptr<sim::Simulation> sim;
         std::unique_ptr<Host> host;
+        /** Set when the host's event loop threw; the shard is then
+         *  excluded from further epochs. */
+        bool failed = false;
+        std::string error;
     };
 
     sim::SimTime epoch_ = sim::MINUTE;

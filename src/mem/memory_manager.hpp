@@ -13,6 +13,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -246,6 +247,18 @@ class MemoryManager
     // --- accounting & introspection --------------------------------------
 
     std::uint64_t ramCapacity() const { return config_.ramBytes; }
+
+    /**
+     * Resize host DRAM mid-run (fault injection: ballooning, bank
+     * offlining). A shrink below current usage is recovered by the
+     * next kswapd pass; the floor keeps the host minimally viable.
+     */
+    void
+    setRamBytes(std::uint64_t bytes)
+    {
+        config_.ramBytes = std::max<std::uint64_t>(
+            bytes, 16ull * config_.pageBytes);
+    }
 
     /** Resident pages plus compressed-pool DRAM across backends. */
     std::uint64_t ramUsed() const;

@@ -36,8 +36,13 @@ MemoryManager::shrinkMemCg(MemCg &mcg, std::uint64_t target_bytes,
 
     decayCosts(mcg, now);
 
-    // Swap can become unavailable mid-pass (partition full).
-    bool anon_blocked = mcg.anonBackend == nullptr;
+    // Swap can become unavailable mid-pass (partition full). A backend
+    // that reports FAILED (offline device, exhausted slots) is treated
+    // like no backend at all: reclaim falls back to file-only instead
+    // of spinning on rejected stores (§4 graceful degradation).
+    bool anon_blocked =
+        mcg.anonBackend == nullptr ||
+        mcg.anonBackend->status() == backend::BackendStatus::FAILED;
 
     auto anon_fraction = [&]() -> double {
         if (anon_blocked || mcg.lru.anonPages() == 0)

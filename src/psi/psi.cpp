@@ -1,13 +1,26 @@
 #include "psi/psi.hpp"
 
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace tmo::psi
 {
 
 namespace
 {
+
+/**
+ * Invariant violation in the stall-state accounting. The kernel's PSI
+ * would WARN and corrupt silently; here a broken caller must fail
+ * loudly in release builds too — an assert() vanishes under NDEBUG
+ * and would let pressure numbers drift wrong for the rest of the run.
+ */
+[[noreturn]] void
+invariantViolation(const std::string &what)
+{
+    throw std::logic_error("psi: " + what);
+}
 
 /** Bit position for a TaskState bit (bit must have exactly one set). */
 std::size_t
@@ -23,8 +36,8 @@ bitIndex(unsigned bit)
       case TSK_IOWAIT:
         return 3;
       default:
-        assert(false && "invalid task state bit");
-        return 0;
+        invariantViolation("invalid task state bit " +
+                           std::to_string(bit));
     }
 }
 
@@ -112,7 +125,10 @@ PsiGroup::taskChange(unsigned clear, unsigned set, sim::SimTime now)
     for (unsigned bit = 1; bit <= TSK_IOWAIT; bit <<= 1) {
         if (clear & bit) {
             const std::size_t idx = bitIndex(bit);
-            assert(nr_[idx] > 0 && "clearing state with zero tasks");
+            if (nr_[idx] == 0)
+                invariantViolation(
+                    "clearing task state bit " + std::to_string(bit) +
+                    " with zero tasks in that state");
             --nr_[idx];
         }
         if (set & bit)

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * chaos_soak — randomized fault-plan soak runner.
+ *
+ * Runs N seeds, each a small fleet under a per-host random FaultPlan
+ * (FaultPlan::random), and asserts the process survives: no crash, no
+ * uncaught exception escaping the fleet engine's per-host isolation.
+ * Prints one summary row per seed — seed, faults injected, savings,
+ * degradation events, failed hosts — so a soak doubles as a quick
+ * degradation-vs-savings scan.
+ *
+ *   chaos_soak --runs 8 --minutes 10 --hosts 2
+ *
+ * Exit status: 0 when every seed completed, 1 on any escape.
+ */
+
+#include <cstdint>
+#include <exception>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "host/controller_registry.hpp"
+#include "host/fleet.hpp"
+#include "stats/table.hpp"
+
+using namespace tmo;
+
+namespace
+{
+
+struct Options {
+    std::uint64_t runs = 8;
+    int minutes = 10;
+    std::size_t hosts = 2;
+    unsigned jobs = 2;
+    std::uint64_t seed = 1;
+};
+
+void
+usage()
+{
+    std::cerr << "usage: chaos_soak [--runs N] [--minutes N] "
+                 "[--hosts N] [--jobs N] [--seed N]\n";
+}
+
+bool
+parse(int argc, char **argv, Options &options)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--help" || flag == "-h")
+            return false;
+        if (i + 1 >= argc) {
+            std::cerr << "chaos_soak: missing value for " << flag
+                      << "\n";
+            return false;
+        }
+        const char *value = argv[++i];
+        if (flag == "--runs") {
+            options.runs = std::stoull(value);
+        } else if (flag == "--minutes") {
+            options.minutes = std::stoi(value);
+        } else if (flag == "--hosts") {
+            options.hosts = std::stoull(value);
+        } else if (flag == "--jobs") {
+            options.jobs = static_cast<unsigned>(std::stoul(value));
+        } else if (flag == "--seed") {
+            options.seed = std::stoull(value);
+        } else {
+            std::cerr << "chaos_soak: unknown flag: " << flag << "\n";
+            return false;
+        }
+    }
+    if (options.runs == 0 || options.hosts == 0 ||
+        options.minutes <= 0) {
+        std::cerr << "chaos_soak: --runs/--hosts/--minutes must be "
+                     ">= 1\n";
+        return false;
+    }
+    return true;
+}
+
+double
+savingsPct(host::Host &machine)
+{
+    auto &app = *machine.apps().front();
+    if (!app.allocatedBytes())
+        return 0.0;
+    return 100.0 *
+           (1.0 - static_cast<double>(app.cgroup().memCurrent()) /
+                      static_cast<double>(app.allocatedBytes()));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options options;
+    if (!parse(argc, argv, options)) {
+        usage();
+        return 2;
+    }
+
+    const auto duration =
+        static_cast<sim::SimTime>(options.minutes) * sim::MINUTE;
+
+    stats::Table table("chaos soak");
+    table.setHeader({"seed", "faults", "savings% avg",
+                     "degradation events", "hosts failed"});
+
+    bool escaped = false;
+    for (std::uint64_t run = 0; run < options.runs; ++run) {
+        const std::uint64_t seed = options.seed + run;
+        try {
+            auto fleet = host::FleetSpec{}
+                             .hosts(options.hosts)
+                             .name_prefix("soak")
+                             .ram_mb(512)
+                             .page_kb(64)
+                             .seed(seed)
+                             .backend(host::AnonMode::SWAP_SSD)
+                             .workload("feed", 256)
+                             .controller(host::controllerFactoryFor(
+                                 "senpai", {}))
+                             .build();
+            fleet.start();
+
+            std::vector<std::unique_ptr<fault::FaultInjector>>
+                injectors;
+            for (std::size_t i = 0; i < fleet.size(); ++i) {
+                injectors.push_back(
+                    std::make_unique<fault::FaultInjector>(
+                        fleet.host(i),
+                        fault::FaultPlan::random(
+                            seed + (i + 1) * 0x9e3779b97f4a7c15ull,
+                            duration)));
+                injectors.back()->arm();
+            }
+
+            fleet.run(duration, options.jobs);
+
+            std::uint64_t faults = 0;
+            for (const auto &injector : injectors)
+                faults += injector->injected();
+            std::uint64_t degradation = 0;
+            double savings = 0.0;
+            for (std::size_t i = 0; i < fleet.size(); ++i) {
+                degradation +=
+                    fault::hostDegradationEvents(fleet.host(i));
+                savings += savingsPct(fleet.host(i));
+            }
+            savings /= static_cast<double>(fleet.size());
+
+            table.addRow({std::to_string(seed),
+                          std::to_string(faults),
+                          stats::fmt(savings, 2),
+                          std::to_string(degradation),
+                          std::to_string(fleet.failedCount())});
+        } catch (const std::exception &error) {
+            escaped = true;
+            std::cerr << "chaos_soak: seed " << seed
+                      << " escaped: " << error.what() << "\n";
+        }
+    }
+    table.print(std::cout);
+    return escaped ? 1 : 0;
+}

@@ -10,6 +10,8 @@
  *   tmo_sim --app web --backend zswap --controller senpai --minutes 60
  *   tmo_sim --app ads_b --backend ssd --ssd-class B --csv
  *   tmo_sim --hosts 64 --jobs 8 --minutes 60        # fleet percentiles
+ *   tmo_sim --backend ssd --fault-plan faults.txt   # scripted bad day
+ *   tmo_sim --hosts 16 --chaos 7                    # random faults/host
  *
  * With --hosts > 1 each host runs on its own shard clock (seeded by
  * host index) and the per-minute series switches to cross-host
@@ -21,6 +23,8 @@
  *   --ram-mb N           host DRAM [2048]
  *   --backend B          none|ssd|zswap|nvm|cxl|tiered [zswap]
  *   --ssd-class C        SSD device class A-G [C]
+ *   --zswap-compressor C lzo|lz4|zstd [zstd]
+ *   --zswap-allocator A  zbud|z3fold|zsmalloc [zsmalloc]
  *   --controller C       none|senpai|senpai-aggressive|tmo|gswap [senpai]
  *   --psi-threshold F    Senpai pressure target override
  *   --minutes N          simulated duration [60]
@@ -28,6 +32,10 @@
  *   --jobs N             worker threads for the fleet engine [1]
  *   --epoch-sec N        lockstep barrier period [60]
  *   --seed N             RNG seed [42]
+ *   --fault-plan FILE    scripted fault schedule, applied to every host
+ *                        (lines: t=<sec> kind=<event> arg=<v>)
+ *   --chaos SEED         additionally inject a random per-host fault
+ *                        plan derived from SEED (deterministic)
  *   --csv                machine-readable series output
  */
 
@@ -40,6 +48,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
 #include "host/controller_registry.hpp"
 #include "host/fleet.hpp"
 #include "stats/table.hpp"
@@ -57,6 +67,8 @@ struct Options {
     std::uint64_t ramMb = 2048;
     std::string backend = "zswap";
     char ssdClass = 'C';
+    std::string zswapCompressor = "zstd";
+    std::string zswapAllocator = "zsmalloc";
     std::string controller = "senpai";
     double psiThreshold = 0.0; // 0 = keep the config default
     int minutes = 60;
@@ -65,6 +77,10 @@ struct Options {
     int epochSec = 60;
     std::uint64_t seed = 42;
     bool csv = false;
+    /** Scripted faults, parsed (and thus validated) at flag-parse
+     *  time; empty = none. */
+    fault::FaultPlan faultPlan;
+    std::optional<std::uint64_t> chaosSeed;
 };
 
 void
@@ -77,9 +93,12 @@ usage()
            "[--ssd-class A-G]\n"
            "               [--controller "
            "none|senpai|senpai-aggressive|tmo|gswap]\n"
+           "               [--zswap-compressor lzo|lz4|zstd] "
+           "[--zswap-allocator zbud|z3fold|zsmalloc]\n"
            "               [--psi-threshold F] [--minutes N] "
            "[--hosts N] [--jobs N]\n"
-           "               [--epoch-sec N] [--seed N] [--csv]\n";
+           "               [--epoch-sec N] [--seed N] "
+           "[--fault-plan FILE] [--chaos SEED] [--csv]\n";
 }
 
 std::optional<host::AnonMode>
@@ -136,7 +155,39 @@ parse(int argc, char **argv, Options &options)
                 return false;
             }
         } else if (flag == "--ssd-class") {
+            if (std::strlen(value) != 1 ||
+                !backend::isValidSsdClass(value[0])) {
+                std::cerr << "tmo_sim: unknown SSD class '" << value
+                          << "' (expected A-G)\n";
+                return false;
+            }
             options.ssdClass = value[0];
+        } else if (flag == "--zswap-compressor") {
+            options.zswapCompressor = value;
+            if (!backend::isKnownCompressor(options.zswapCompressor)) {
+                std::cerr << "tmo_sim: unknown compressor '" << value
+                          << "' (expected lzo|lz4|zstd)\n";
+                return false;
+            }
+        } else if (flag == "--zswap-allocator") {
+            options.zswapAllocator = value;
+            if (!backend::isKnownAllocator(options.zswapAllocator)) {
+                std::cerr << "tmo_sim: unknown allocator '" << value
+                          << "' (expected zbud|z3fold|zsmalloc)\n";
+                return false;
+            }
+        } else if (flag == "--fault-plan") {
+            // Parse (and so validate) the plan file now: a malformed
+            // plan must die with a line-numbered error before any
+            // simulation state exists.
+            try {
+                options.faultPlan = fault::FaultPlan::fromFile(value);
+            } catch (const std::invalid_argument &error) {
+                std::cerr << "tmo_sim: " << error.what() << "\n";
+                return false;
+            }
+        } else if (flag == "--chaos") {
+            options.chaosSeed = std::stoull(value);
         } else if (flag == "--controller") {
             options.controller = value;
             if (!host::isKnownController(options.controller)) {
@@ -261,7 +312,8 @@ printFleetMinute(host::Fleet &fleet, int minute, bool csv)
 }
 
 void
-printSingleHostSummary(host::Host &machine, const Options &options)
+printSingleHostSummary(host::Host &machine, const Options &options,
+                       const fault::FaultInjector *injector)
 {
     auto &app = primaryApp(machine);
     const auto info = machine.memory().info(app.cgroup());
@@ -290,11 +342,17 @@ printSingleHostSummary(host::Host &machine, const Options &options)
         for (const auto &[label, value] :
              machine.controller()->statsRow())
             table.addRow({label, value});
+    if (injector)
+        for (const auto &[label, value] : injector->statsRow())
+            table.addRow({label, value});
     table.print(std::cout);
 }
 
 void
-printFleetSummary(host::Fleet &fleet, const Options &options)
+printFleetSummary(
+    host::Fleet &fleet, const Options &options,
+    const std::vector<std::unique_ptr<fault::FaultInjector>>
+        &injectors)
 {
     const auto savings = fleet.collect(savingsPct);
     const auto pressure = fleet.collect(memPsiAvg60);
@@ -334,6 +392,35 @@ printFleetSummary(host::Fleet &fleet, const Options &options)
                            1)});
     table.addRow({"ssd bytes written", stats::fmtBytes(ssd_written)});
     table.addRow({"oom events", std::to_string(ooms)});
+    table.addRow({"hosts failed", std::to_string(fleet.failedCount())});
+    std::uint64_t faults = 0;
+    bool any_injector = false;
+    for (const auto &injector : injectors) {
+        if (!injector)
+            continue;
+        any_injector = true;
+        faults += injector->injected();
+    }
+    if (any_injector) {
+        std::size_t degraded = 0;
+        for (std::size_t i = 0; i < fleet.size(); ++i)
+            if (fault::hostBackendStatus(fleet.host(i)) !=
+                backend::BackendStatus::HEALTHY)
+                ++degraded;
+        const auto events =
+            fleet.collect([](host::Host &machine) {
+                return static_cast<double>(
+                    fault::hostDegradationEvents(machine));
+            });
+        table.addRow({"hosts degraded", std::to_string(degraded)});
+        table.addRow({"faults injected", std::to_string(faults)});
+        table.addRow({"degradation events P50",
+                      stats::fmt(stats::exactQuantile(events, 0.5),
+                                 0)});
+        table.addRow({"degradation events P99",
+                      stats::fmt(stats::exactQuantile(events, 0.99),
+                                 0)});
+    }
     table.print(std::cout);
 }
 
@@ -351,10 +438,19 @@ main(int argc, char **argv)
     host::ControllerOptions controller_options;
     controller_options.psiThreshold = options.psiThreshold;
 
+    // Zswap presets were validated at parse time, so these cannot
+    // throw.
+    host::HostConfig base_config;
+    base_config.zswap.compressor =
+        backend::compressorPreset(options.zswapCompressor);
+    base_config.zswap.allocator =
+        backend::allocatorPreset(options.zswapAllocator);
+
     host::Fleet fleet;
     try {
         fleet =
             host::FleetSpec{}
+                .config(base_config)
                 .hosts(options.hosts)
                 .epoch(static_cast<sim::SimTime>(options.epochSec) *
                        sim::SEC)
@@ -377,6 +473,32 @@ main(int argc, char **argv)
     }
     fleet.start();
 
+    // Fault delivery: the scripted plan applies to every host; --chaos
+    // layers a per-host random plan (seed mixed with the host index)
+    // on top. Injection rides each host's own shard clock, so results
+    // stay bit-identical for any --jobs.
+    std::vector<std::unique_ptr<fault::FaultInjector>> injectors(
+        fleet.size());
+    const auto duration =
+        static_cast<sim::SimTime>(options.minutes) * sim::MINUTE;
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+        fault::FaultPlan plan = options.faultPlan;
+        if (options.chaosSeed) {
+            const auto chaos = fault::FaultPlan::random(
+                *options.chaosSeed +
+                    (i + 1) * 0x9e3779b97f4a7c15ull,
+                duration);
+            plan.events.insert(plan.events.end(),
+                               chaos.events.begin(),
+                               chaos.events.end());
+        }
+        if (plan.empty())
+            continue;
+        injectors[i] = std::make_unique<fault::FaultInjector>(
+            fleet.host(i), std::move(plan));
+        injectors[i]->arm();
+    }
+
     const bool fleet_mode = fleet.size() > 1;
     if (options.csv) {
         std::cout << (fleet_mode
@@ -398,9 +520,10 @@ main(int argc, char **argv)
 
     if (!options.csv) {
         if (fleet_mode)
-            printFleetSummary(fleet, options);
+            printFleetSummary(fleet, options, injectors);
         else
-            printSingleHostSummary(fleet.host(0), options);
+            printSingleHostSummary(fleet.host(0), options,
+                                   injectors[0].get());
     }
     return 0;
 }
