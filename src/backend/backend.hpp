@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "sim/time.hpp"
 
 namespace tmo::backend
@@ -136,6 +137,45 @@ class OffloadBackend
      * false.
      */
     virtual bool storesInHostDram() const { return false; }
+
+    /**
+     * Attach a trace ring (nullptr detaches): implementations record
+     * a BACKEND_OP event per store/load under track @p track. With no
+     * ring attached the cost is one pointer test per operation.
+     */
+    void
+    setTrace(obs::TraceRing *ring, std::uint16_t track)
+    {
+        trace_ = ring;
+        traceTrack_ = track;
+    }
+
+  protected:
+    /** BACKEND_OP op codes. */
+    enum TraceOp : std::uint8_t {
+        OP_STORE = 0,
+        OP_LOAD = 1,
+        OP_STORE_REJECT = 2,
+        OP_LOAD_ERROR = 3,
+    };
+
+    /** Record one backend operation when tracing is on. */
+    void
+    traceOp(sim::SimTime now, std::uint8_t op, sim::SimTime latency,
+            std::uint64_t bytes, sim::SimTime queue_delay,
+            bool block_io) const
+    {
+        if (trace_)
+            trace_->record(now, obs::TraceEventType::BACKEND_OP, op,
+                           traceTrack_,
+                           {sim::toUsec(latency),
+                            static_cast<double>(bytes),
+                            sim::toUsec(queue_delay),
+                            block_io ? 1.0 : 0.0});
+    }
+
+    obs::TraceRing *trace_ = nullptr;
+    std::uint16_t traceTrack_ = 0;
 };
 
 } // namespace tmo::backend

@@ -15,8 +15,14 @@ FilesystemBackend::store(std::uint64_t page_bytes,
     result.accepted = true;
     result.storedBytes = page_bytes;
     // compressibility < 0 flags a dirty page needing writeback.
-    if (compressibility < 0.0)
+    // Clean drops are free and are visible through RECLAIM_PASS
+    // events; only actual device writebacks are traced.
+    if (compressibility < 0.0) {
+        const sim::SimTime queued = device_.writeQueueDelay(now);
         result.latency = device_.write(page_bytes, now);
+        traceOp(now, OP_STORE, result.latency, page_bytes, queued,
+                true);
+    }
     return result;
 }
 
@@ -24,8 +30,10 @@ LoadResult
 FilesystemBackend::load(std::uint64_t stored_bytes, sim::SimTime now)
 {
     LoadResult result;
+    const sim::SimTime queued = device_.readQueueDelay(now);
     result.latency = device_.read(stored_bytes, now);
     result.blockIo = true;
+    traceOp(now, OP_LOAD, result.latency, stored_bytes, queued, true);
     return result;
 }
 

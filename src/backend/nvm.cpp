@@ -34,11 +34,12 @@ NvmBackend::NvmBackend(NvmSpec spec, std::uint64_t seed)
 
 StoreResult
 NvmBackend::store(std::uint64_t page_bytes,
-                  double /* compressibility */, sim::SimTime /* now */)
+                  double /* compressibility */, sim::SimTime now)
 {
     StoreResult result;
     if (usedBytes_ + page_bytes > spec_.capacityBytes) {
         result.accepted = false;
+        traceOp(now, OP_STORE_REJECT, 0, page_bytes, 0, false);
         return result;
     }
     result.accepted = true;
@@ -47,11 +48,12 @@ NvmBackend::store(std::uint64_t page_bytes,
         std::max(1.0, static_cast<double>(page_bytes) / 4096.0);
     result.latency = sim::fromUsec(spec_.writeMedianUs * units);
     usedBytes_ += page_bytes;
+    traceOp(now, OP_STORE, result.latency, page_bytes, 0, false);
     return result;
 }
 
 LoadResult
-NvmBackend::load(std::uint64_t stored_bytes, sim::SimTime /* now */)
+NvmBackend::load(std::uint64_t stored_bytes, sim::SimTime now)
 {
     release(stored_bytes);
     LoadResult result;
@@ -65,6 +67,7 @@ NvmBackend::load(std::uint64_t stored_bytes, sim::SimTime /* now */)
                     spec_.readMedianUs,
                     spec_.readP99Us / spec_.readMedianUs));
     result.blockIo = false; // byte-addressable: memory stall only
+    traceOp(now, OP_LOAD, result.latency, stored_bytes, 0, false);
     return result;
 }
 

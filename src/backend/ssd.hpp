@@ -97,6 +97,20 @@ class SsdDevice
     /** Smoothed device write rate, bytes per second. */
     double writeByteRate(sim::SimTime now) { return writeRate_.rate(now); }
 
+    /** Queue delay a read issued at @p now would wait before service. */
+    sim::SimTime
+    readQueueDelay(sim::SimTime now) const
+    {
+        return readBusyUntil_ > now ? readBusyUntil_ - now : 0;
+    }
+
+    /** Queue delay a write issued at @p now would wait. */
+    sim::SimTime
+    writeQueueDelay(sim::SimTime now) const
+    {
+        return writeBusyUntil_ > now ? writeBusyUntil_ - now : 0;
+    }
+
     /** Clear latency histogram and rate meters (not endurance). */
     void resetStats();
 

@@ -43,16 +43,20 @@ SwapBackend::store(std::uint64_t page_bytes, double /* compressibility */,
     if (device_.offline() || device_.sampleWriteError()) {
         ++storeErrors_; // IO error: page stays resident
         result.accepted = false;
+        traceOp(now, OP_STORE_REJECT, 0, page_bytes, 0, true);
         return result;
     }
     if (usedBytes_ + page_bytes > capacityBytes_) {
         result.accepted = false; // swap exhausted
+        traceOp(now, OP_STORE_REJECT, 0, page_bytes, 0, true);
         return result;
     }
+    const sim::SimTime queued = device_.writeQueueDelay(now);
     result.accepted = true;
     result.storedBytes = page_bytes;
     result.latency = device_.write(page_bytes, now);
     usedBytes_ += page_bytes;
+    traceOp(now, OP_STORE, result.latency, page_bytes, queued, true);
     return result;
 }
 
@@ -68,10 +72,14 @@ SwapBackend::load(std::uint64_t stored_bytes, sim::SimTime now)
         result.latency = sim::fromUsec(
             static_cast<double>(OFFLINE_LOAD_PENALTY_US));
         result.blockIo = true;
+        traceOp(now, OP_LOAD_ERROR, result.latency, stored_bytes, 0,
+                true);
         return result;
     }
+    const sim::SimTime queued = device_.readQueueDelay(now);
     result.latency = device_.read(stored_bytes, now);
     result.blockIo = true;
+    traceOp(now, OP_LOAD, result.latency, stored_bytes, queued, true);
     return result;
 }
 

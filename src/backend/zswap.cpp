@@ -78,7 +78,7 @@ ZswapPool::setStallUs(double stall_us)
 
 StoreResult
 ZswapPool::store(std::uint64_t page_bytes, double compressibility,
-                 sim::SimTime /* now */)
+                 sim::SimTime now)
 {
     // Sample this page's achieved ratio around the workload mean,
     // scaled by the compressor's strength. Ratio 1 = incompressible.
@@ -95,6 +95,7 @@ ZswapPool::store(std::uint64_t page_bytes, double compressibility,
         config_.rejectThreshold * static_cast<double>(page_bytes)) {
         ++rejectedPages_;
         result.accepted = false;
+        traceOp(now, OP_STORE_REJECT, 0, page_bytes, 0, false);
         return result;
     }
     if (config_.maxPoolBytes &&
@@ -102,6 +103,7 @@ ZswapPool::store(std::uint64_t page_bytes, double compressibility,
             config_.maxPoolBytes) {
         ++rejectedPages_;
         result.accepted = false;
+        traceOp(now, OP_STORE_REJECT, 0, page_bytes, 0, false);
         return result;
     }
 
@@ -121,11 +123,13 @@ ZswapPool::store(std::uint64_t page_bytes, double compressibility,
 
     usedBytes_ += result.storedBytes;
     ++storedPages_;
+    traceOp(now, OP_STORE, result.latency, result.storedBytes, 0,
+            false);
     return result;
 }
 
 LoadResult
-ZswapPool::load(std::uint64_t stored_bytes, sim::SimTime /* now */)
+ZswapPool::load(std::uint64_t stored_bytes, sim::SimTime now)
 {
     // How many real 4 KiB pages one simulated page stands for.
     const double units = std::max(
@@ -143,6 +147,7 @@ ZswapPool::load(std::uint64_t stored_bytes, sim::SimTime /* now */)
         units * std::max(1.0, rng_.normal(us * 0.85, us * 0.15)) +
         stallUs_);
     result.blockIo = false;
+    traceOp(now, OP_LOAD, result.latency, stored_bytes, 0, false);
     return result;
 }
 

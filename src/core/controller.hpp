@@ -17,6 +17,12 @@
 #include <utility>
 #include <vector>
 
+namespace tmo::obs
+{
+class TraceRing;
+class MetricRegistry;
+} // namespace tmo::obs
+
 namespace tmo::core
 {
 
@@ -48,6 +54,14 @@ class Controller
 
     /** Telemetry for summary output; may be empty. */
     virtual StatsRow statsRow() const { return {}; }
+
+    /** Attach a trace ring (nullptr detaches). Controllers that emit
+     *  trace events override this; the default ignores tracing. */
+    virtual void setTrace(obs::TraceRing * /* ring */) {}
+
+    /** Register this controller's metrics (counters/gauges/probes)
+     *  with the host registry. Default: nothing to register. */
+    virtual void registerMetrics(obs::MetricRegistry & /* registry */) {}
 };
 
 /**
@@ -94,6 +108,20 @@ class CompositeController final : public Controller
     }
 
     std::string name() const override { return name_; }
+
+    void
+    setTrace(obs::TraceRing *ring) override
+    {
+        for (auto &part : parts_)
+            part->setTrace(ring);
+    }
+
+    void
+    registerMetrics(obs::MetricRegistry &registry) override
+    {
+        for (auto &part : parts_)
+            part->registerMetrics(registry);
+    }
 
     StatsRow
     statsRow() const override

@@ -1,5 +1,7 @@
 #include "core/oomd_lite.hpp"
 
+#include "obs/trace.hpp"
+
 namespace tmo::core
 {
 
@@ -56,6 +58,12 @@ OomdLite::poll()
         if (fraction >= config_.fullThreshold) {
             watch.fired = true;
             ++kills_;
+            if (trace_)
+                trace_->record(
+                    now, obs::TraceEventType::OOMD_KILL, 0,
+                    static_cast<std::uint16_t>(watch.cg->id()),
+                    {fraction,
+                     static_cast<double>(watch.cg->memCurrent())});
             if (watch.killFn)
                 watch.killFn();
         }

@@ -18,6 +18,11 @@
 #include "cgroup/cgroup.hpp"
 #include "sim/simulation.hpp"
 
+namespace tmo::obs
+{
+class TraceRing;
+}
+
 namespace tmo::core
 {
 
@@ -55,6 +60,10 @@ class OomdLite
     /** Number of kill actions taken. */
     std::uint64_t kills() const { return kills_; }
 
+    /** Record an OOMD_KILL event per fired watch into @p ring;
+     *  nullptr detaches. */
+    void setTrace(obs::TraceRing *ring) { trace_ = ring; }
+
   private:
     struct Watch {
         cgroup::Cgroup *cg;
@@ -70,6 +79,7 @@ class OomdLite
     OomdConfig config_;
     std::vector<Watch> watches_;
     bool running_ = false;
+    obs::TraceRing *trace_ = nullptr;
     sim::EventId event_ = sim::INVALID_EVENT;
     std::uint64_t kills_ = 0;
 };

@@ -112,6 +112,13 @@ class Senpai final : public Controller
     /** Requested-reclaim and pressure telemetry, one row each. */
     StatsRow statsRow() const override;
 
+    /** Record a SENPAI_TICK event (with every modulation term) per
+     *  tick into @p ring; nullptr detaches. */
+    void setTrace(obs::TraceRing *ring) override { trace_ = ring; }
+
+    /** Register per-cgroup pressure/reclaim probes. */
+    void registerMetrics(obs::MetricRegistry &registry) override;
+
     const SenpaiConfig &config() const { return config_; }
     void setConfig(const SenpaiConfig &config) { config_ = config; }
 
@@ -136,6 +143,8 @@ class Senpai final : public Controller
     backend::BackendStatus backendStatus() const;
 
   private:
+    friend struct SenpaiTestPeer;
+
     void tick();
 
     sim::Simulation &sim_;
@@ -145,6 +154,7 @@ class Senpai final : public Controller
     WriteRegulator regulator_;
 
     bool running_ = false;
+    obs::TraceRing *trace_ = nullptr;
     sim::EventId event_ = sim::INVALID_EVENT;
     sim::SimTime lastMemSome_ = 0;
     sim::SimTime lastIoSome_ = 0;

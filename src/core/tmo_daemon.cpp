@@ -1,5 +1,7 @@
 #include "core/tmo_daemon.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "stats/table.hpp"
 
 namespace tmo::core
@@ -38,7 +40,28 @@ TmoDaemon::manage(cgroup::Cgroup &cg)
 {
     senpais_.push_back(
         std::make_unique<Senpai>(sim_, mm_, cg, configFor(cg)));
+    senpais_.back()->setTrace(trace_);
     return *senpais_.back();
+}
+
+void
+TmoDaemon::setTrace(obs::TraceRing *ring)
+{
+    trace_ = ring;
+    for (auto &s : senpais_)
+        s->setTrace(ring);
+    if (oomd_)
+        oomd_->setTrace(ring);
+}
+
+void
+TmoDaemon::registerMetrics(obs::MetricRegistry &registry)
+{
+    for (auto &s : senpais_)
+        s->registerMetrics(registry);
+    registry.addProbe("tmo.escalations", [this] {
+        return static_cast<double>(escalations());
+    });
 }
 
 void
@@ -84,6 +107,7 @@ TmoDaemon::healthTick()
     if (worstBackendStatus() != backend::BackendStatus::HEALTHY) {
         if (!oomd_) {
             oomd_ = std::make_unique<OomdLite>(sim_);
+            oomd_->setTrace(trace_);
             for (auto &s : senpais_) {
                 cgroup::Cgroup *cg = &s->cgroup();
                 oomd_->watch(*cg, [this, cg] {
@@ -95,8 +119,16 @@ TmoDaemon::healthTick()
                 });
             }
         }
+        if (trace_ && !oomdArmed_)
+            trace_->record(sim_.now(), obs::TraceEventType::CONTROLLER,
+                           2, 0);
+        oomdArmed_ = true;
         oomd_->start();
     } else if (oomd_) {
+        if (trace_ && oomdArmed_)
+            trace_->record(sim_.now(), obs::TraceEventType::CONTROLLER,
+                           3, 0);
+        oomdArmed_ = false;
         oomd_->stop();
     }
     healthEvent_ = sim_.after(base_.interval, [this] { healthTick(); });

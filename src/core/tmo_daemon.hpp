@@ -66,6 +66,14 @@ class TmoDaemon final : public Controller
     /** Managed-container count plus aggregate requested reclaim. */
     StatsRow statsRow() const override;
 
+    /** Forward tracing to every managed Senpai (present and future)
+     *  and the oomd escalation path; CONTROLLER events record oomd
+     *  arming (code 2) and disarming (code 3). */
+    void setTrace(obs::TraceRing *ring) override;
+
+    /** Register probes for every managed Senpai plus escalations. */
+    void registerMetrics(obs::MetricRegistry &registry) override;
+
     const std::vector<std::unique_ptr<Senpai>> &senpais() const
     {
         return senpais_;
@@ -98,6 +106,8 @@ class TmoDaemon final : public Controller
     SenpaiConfig base_;
     std::vector<std::unique_ptr<Senpai>> senpais_;
     std::unique_ptr<OomdLite> oomd_;
+    obs::TraceRing *trace_ = nullptr;
+    bool oomdArmed_ = false;
     bool healthRunning_ = false;
     sim::EventId healthEvent_ = sim::INVALID_EVENT;
 };

@@ -5,6 +5,7 @@
 
 #include "backend/swap_backend.hpp"
 #include "backend/zswap.hpp"
+#include "obs/trace.hpp"
 #include "sim/time.hpp"
 
 namespace tmo::fault
@@ -61,6 +62,15 @@ FaultInjector::apply(const FaultEvent &event)
     ++perKind_[static_cast<std::size_t>(event.kind)];
 
     auto &sim = host_.simulation();
+    if (auto *ring = host_.trace()) {
+        // SSD_ONLINE is the one plan event that undoes a fault.
+        const auto type = event.kind == FaultKind::SSD_ONLINE
+                              ? obs::TraceEventType::FAULT_RECOVER
+                              : obs::TraceEventType::FAULT_INJECT;
+        ring->record(sim.now(), type,
+                     static_cast<std::uint8_t>(event.kind), 0,
+                     {event.arg});
+    }
     switch (event.kind) {
       case FaultKind::SSD_LATENCY:
         host_.ssd().injectLatencyMultiplier(std::max(1.0, event.arg));
@@ -104,9 +114,15 @@ FaultInjector::apply(const FaultEvent &event)
         // systemd bringing the daemon back after `arg` seconds.
         const auto outage =
             sim::fromSeconds(std::max(0.0, event.arg));
-        sim.after(outage, [this] {
-            if (auto *c = host_.controller())
+        const auto kind = event.kind;
+        sim.after(outage, [this, kind] {
+            if (auto *c = host_.controller()) {
+                if (auto *ring = host_.trace())
+                    ring->record(host_.simulation().now(),
+                                 obs::TraceEventType::FAULT_RECOVER,
+                                 static_cast<std::uint8_t>(kind), 0);
                 c->start();
+            }
         });
         break;
       }

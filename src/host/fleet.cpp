@@ -44,9 +44,63 @@ Fleet::addHost(const HostBuilder &builder)
     if (builder.controllerFactory())
         shard.host->setController(
             builder.controllerFactory()(*shard.host));
+    if (traceBytesPerHost_)
+        shard.host->enableTracing(traceBytesPerHost_);
+    if (metricsInterval_)
+        shard.host->enableMetrics(metricsInterval_);
 
     shards_.push_back(std::move(shard));
     return *shards_.back().host;
+}
+
+void
+Fleet::enableTracing(std::size_t capacity_bytes_per_host)
+{
+    traceBytesPerHost_ = capacity_bytes_per_host;
+    if (!traceBytesPerHost_)
+        return;
+    for (auto &shard : shards_)
+        shard.host->enableTracing(traceBytesPerHost_);
+}
+
+void
+Fleet::enableMetrics(sim::SimTime interval)
+{
+    metricsInterval_ = interval;
+    if (!metricsInterval_)
+        return;
+    for (auto &shard : shards_)
+        shard.host->enableMetrics(metricsInterval_);
+}
+
+std::vector<obs::HostTrace>
+Fleet::traces()
+{
+    std::vector<obs::HostTrace> hosts;
+    for (auto &shard : shards_)
+        if (shard.host->trace())
+            hosts.emplace_back(shard.host->name(),
+                               shard.host->trace());
+    return hosts;
+}
+
+std::vector<stats::TimeSeries>
+Fleet::metricSeries() const
+{
+    std::vector<stats::TimeSeries> merged;
+    for (const auto &shard : shards_) {
+        const obs::MetricSampler *sampler = shard.host->sampler();
+        if (!sampler)
+            continue;
+        for (const stats::TimeSeries *series : sampler->series()) {
+            stats::TimeSeries copy(shard.host->name() + "." +
+                                   series->name());
+            for (const stats::Sample &sample : series->samples())
+                copy.record(sample.time, sample.value);
+            merged.push_back(std::move(copy));
+        }
+    }
+    return merged;
 }
 
 Host &

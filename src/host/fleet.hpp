@@ -24,8 +24,10 @@
 
 #include "host/fleet_spec.hpp"
 #include "host/host.hpp"
+#include "obs/export.hpp"
 #include "sim/sharded_executor.hpp"
 #include "sim/simulation.hpp"
+#include "stats/timeseries.hpp"
 
 namespace tmo::host
 {
@@ -110,6 +112,30 @@ class Fleet
     std::vector<double> collect(
         const std::function<double(Host &)> &metric);
 
+    // --- observability ---------------------------------------------------
+
+    /** Turn on tracing on every host (current and future). Each host
+     *  gets its own ring stamped on its shard clock, so the merged
+     *  view is independent of the job count. */
+    void enableTracing(std::size_t capacity_bytes_per_host);
+
+    /** Turn on metric sampling on every host (current and future). */
+    void enableMetrics(sim::SimTime interval);
+
+    /**
+     * Per-host trace rings in host-index order (tracing-enabled hosts
+     * only), named for the exporters' host-prefixed tracks. Pass to
+     * obs::writeTraceFile.
+     */
+    std::vector<obs::HostTrace> traces();
+
+    /**
+     * Every host's sampled metric series merged under
+     * "<host-name>." prefixes, in host-index then metric-name order.
+     * Copies — safe to keep past further run() epochs.
+     */
+    std::vector<stats::TimeSeries> metricSeries() const;
+
   private:
     /** One host with its private clock. */
     struct Shard {
@@ -123,6 +149,10 @@ class Fleet
 
     sim::SimTime epoch_ = sim::MINUTE;
     sim::SimTime now_ = 0;
+    /** Ring capacity for hosts added later; 0 = tracing off. */
+    std::size_t traceBytesPerHost_ = 0;
+    /** Sampling interval for hosts added later; 0 = metrics off. */
+    sim::SimTime metricsInterval_ = 0;
     std::vector<Shard> shards_;
     std::unique_ptr<sim::ShardedExecutor> executor_;
 };

@@ -1,5 +1,7 @@
 #include "host/host.hpp"
 
+#include <cstdlib>
+
 namespace tmo::host
 {
 
@@ -40,6 +42,10 @@ Host::start()
     if (started_)
         return;
     started_ = true;
+    // Escape hatch for exercising the instrumented paths everywhere
+    // (CI runs the whole test suite with this set).
+    if (!trace_ && std::getenv("TMO_FORCE_TRACE"))
+        enableTracing(1 << 20);
     // PSI averaging every 2 s (kernel cadence) and kswapd every 1 s.
     sim_.every(psi::PsiGroup::AVG_PERIOD, [this] {
         tree_.psiUpdateAverages(sim_.now());
@@ -54,7 +60,79 @@ Host::start()
 cgroup::Cgroup &
 Host::createContainer(const std::string &name, cgroup::Cgroup *parent)
 {
-    return tree_.create(name, parent);
+    cgroup::Cgroup &cg = tree_.create(name, parent);
+    if (trace_)
+        cg.psi().setTrace(trace_.get(),
+                          static_cast<std::uint16_t>(cg.id()));
+    return cg;
+}
+
+obs::TraceRing &
+Host::enableTracing(std::size_t capacity_bytes)
+{
+    if (trace_)
+        return *trace_;
+    trace_ = std::make_unique<obs::TraceRing>(capacity_bytes);
+    obs::TraceRing *ring = trace_.get();
+    mm_.setTrace(ring);
+    swap_.setTrace(ring, obs::TRACK_SWAP_SSD);
+    zswap_.setTrace(ring, obs::TRACK_ZSWAP);
+    nvm_.setTrace(ring, obs::TRACK_NVM);
+    fs_.setTrace(ring, obs::TRACK_FILESYSTEM);
+    for (const auto &cg : tree_.all())
+        cg->psi().setTrace(ring,
+                           static_cast<std::uint16_t>(cg->id()));
+    if (controller_)
+        controller_->setTrace(ring);
+    return *trace_;
+}
+
+obs::MetricRegistry &
+Host::enableMetrics(sim::SimTime interval)
+{
+    if (metrics_)
+        return *metrics_;
+    metrics_ = std::make_unique<obs::MetricRegistry>();
+    metrics_->addProbe("host.free_bytes", [this] {
+        return static_cast<double>(mm_.freeBytes());
+    });
+    metrics_->addProbe("host.ram_used_bytes", [this] {
+        return static_cast<double>(mm_.ramUsed());
+    });
+    metrics_->addProbe("host.psi.mem_some_avg10", [this] {
+        return tree_.root().psi().some(psi::Resource::MEM).avg10;
+    });
+    metrics_->addProbe("host.psi.mem_full_avg10", [this] {
+        return tree_.root().psi().full(psi::Resource::MEM).avg10;
+    });
+    metrics_->addProbe("host.psi.io_some_avg10", [this] {
+        return tree_.root().psi().some(psi::Resource::IO).avg10;
+    });
+    metrics_->addProbe("ssd.bytes_written", [this] {
+        return static_cast<double>(ssd_.bytesWritten());
+    });
+    metrics_->addProbe("mm.oom_events", [this] {
+        return static_cast<double>(mm_.oomEvents());
+    });
+    for (const auto &app : apps_) {
+        cgroup::Cgroup *cg = &app->cgroup();
+        const std::string prefix = "app." + cg->name() + ".";
+        metrics_->addProbe(prefix + "mem_current", [cg] {
+            return static_cast<double>(cg->memCurrent());
+        });
+        metrics_->addProbe(prefix + "pswpin", [cg] {
+            return static_cast<double>(cg->stats().pswpin);
+        });
+        metrics_->addProbe(prefix + "ws_refault", [cg] {
+            return static_cast<double>(cg->stats().wsRefault);
+        });
+    }
+    if (controller_)
+        controller_->registerMetrics(*metrics_);
+    sampler_ =
+        std::make_unique<obs::MetricSampler>(sim_, *metrics_, interval);
+    sampler_->start();
+    return *metrics_;
 }
 
 backend::OffloadBackend *
@@ -95,6 +173,12 @@ Host::setController(std::unique_ptr<core::Controller> controller)
     if (controller_)
         controller_->stop();
     controller_ = std::move(controller);
+    if (controller_) {
+        if (trace_)
+            controller_->setTrace(trace_.get());
+        if (metrics_)
+            controller_->registerMetrics(*metrics_);
+    }
     return controller_.get();
 }
 

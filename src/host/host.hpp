@@ -24,6 +24,8 @@
 #include "cgroup/cgroup.hpp"
 #include "core/controller.hpp"
 #include "mem/memory_manager.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sched/cpu_coordinator.hpp"
 #include "sim/simulation.hpp"
 #include "workload/app_model.hpp"
@@ -105,6 +107,35 @@ class Host
     /** The host's controller, or nullptr. */
     core::Controller *controller() { return controller_.get(); }
 
+    // --- observability ---------------------------------------------------
+
+    /**
+     * Allocate a trace ring of roughly @p capacity_bytes and wire it
+     * into every instrumented component: per-cgroup PSI trackers, the
+     * memory manager's reclaim passes, all four offload backends, and
+     * the controller (present or installed later). Idempotent; the
+     * ring records on the host's own sim-clock, so merged fleet traces
+     * are identical for serial and parallel runs.
+     */
+    obs::TraceRing &enableTracing(std::size_t capacity_bytes);
+
+    /**
+     * Create the metric registry + sampler and start sampling every
+     * @p interval. Host-level probes (free memory, root PSI, SSD
+     * endurance) and controller probes are registered here; the first
+     * sample lands one interval after the call. Idempotent.
+     */
+    obs::MetricRegistry &enableMetrics(sim::SimTime interval);
+
+    /** The trace ring, or nullptr when tracing is off. */
+    obs::TraceRing *trace() { return trace_.get(); }
+
+    /** The metric registry, or nullptr when metrics are off. */
+    obs::MetricRegistry *metrics() { return metrics_.get(); }
+
+    /** The metric sampler, or nullptr when metrics are off. */
+    obs::MetricSampler *sampler() { return sampler_.get(); }
+
     // --- components -----------------------------------------------------
 
     sim::Simulation &simulation() { return sim_; }
@@ -137,6 +168,12 @@ class Host
     backend::NvmBackend nvm_;
     sched::CpuCoordinator cpu_;
     mem::MemoryManager mm_;
+    // The trace ring and metrics must be declared before (and so
+    // destroyed after) the controller: Senpai's destructor stops the
+    // control loop, which records a final CONTROLLER event.
+    std::unique_ptr<obs::TraceRing> trace_;
+    std::unique_ptr<obs::MetricRegistry> metrics_;
+    std::unique_ptr<obs::MetricSampler> sampler_;
     std::vector<std::unique_ptr<workload::AppModel>> apps_;
     std::unique_ptr<core::Controller> controller_;
     bool started_ = false;

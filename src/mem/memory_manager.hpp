@@ -26,6 +26,11 @@
 #include "sim/time.hpp"
 #include "stats/ewma.hpp"
 
+namespace tmo::obs
+{
+class TraceRing;
+}
+
 namespace tmo::mem
 {
 
@@ -290,6 +295,10 @@ class MemoryManager
     MemCg &memcgOf(const cgroup::Cgroup &cg);
     const MemCg &memcgOf(const cgroup::Cgroup &cg) const;
 
+    /** Record a RECLAIM_PASS event (anon/file split, cost balance)
+     *  per shrink pass into @p ring; nullptr detaches. */
+    void setTrace(obs::TraceRing *ring) { trace_ = ring; }
+
   private:
     friend struct ReclaimPass;
 
@@ -320,6 +329,7 @@ class MemoryManager
     std::vector<PageIdx> freeSlots_;
     std::vector<std::unique_ptr<MemCg>> memcgs_;
     std::vector<backend::OffloadBackend *> backends_;
+    obs::TraceRing *trace_ = nullptr;
     std::uint64_t residentPages_ = 0;
     std::uint64_t oomEvents_ = 0;
 };

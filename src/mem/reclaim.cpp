@@ -14,6 +14,7 @@
 #include <cassert>
 
 #include "mem/memory_manager.hpp"
+#include "obs/trace.hpp"
 
 namespace tmo::mem
 {
@@ -269,6 +270,18 @@ MemoryManager::shrinkMemCg(MemCg &mcg, std::uint64_t target_bytes,
     outcome.cpuTime = sim::fromUsec(
         static_cast<double>(outcome.scannedPages) *
         config_.reclaimUsPerPage);
+    if (trace_) {
+        trace_->record(
+            now, obs::TraceEventType::RECLAIM_PASS,
+            anon_blocked ? 1 : 0,
+            static_cast<std::uint16_t>(mcg.cg->id()),
+            {static_cast<double>(target_bytes),
+             static_cast<double>(outcome.reclaimedBytes),
+             static_cast<double>(outcome.anonPages),
+             static_cast<double>(outcome.filePages), mcg.fileCost,
+             mcg.anonCost, static_cast<double>(outcome.scannedPages),
+             sim::toUsec(outcome.cpuTime)});
+    }
     return outcome;
 }
 

@@ -1,0 +1,85 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace tmo::obs
+{
+
+const char *
+traceEventTypeName(TraceEventType type)
+{
+    switch (type) {
+      case TraceEventType::PSI_STATE:
+        return "psi_state";
+      case TraceEventType::SENPAI_TICK:
+        return "senpai_tick";
+      case TraceEventType::RECLAIM_PASS:
+        return "reclaim_pass";
+      case TraceEventType::BACKEND_OP:
+        return "backend_op";
+      case TraceEventType::FAULT_INJECT:
+        return "fault_inject";
+      case TraceEventType::FAULT_RECOVER:
+        return "fault_recover";
+      case TraceEventType::OOMD_KILL:
+        return "oomd_kill";
+      case TraceEventType::CONTROLLER:
+        return "controller";
+    }
+    return "?";
+}
+
+TraceRing::TraceRing(std::size_t capacity_bytes)
+{
+    const std::size_t n =
+        std::max<std::size_t>(1, capacity_bytes / sizeof(TraceEvent));
+    events_.resize(n);
+}
+
+void
+TraceRing::record(sim::SimTime now, TraceEventType type,
+                  std::uint8_t code, std::uint16_t domain,
+                  std::initializer_list<double> args)
+{
+    TraceEvent &e = events_[head_];
+    e.time = now;
+    e.seq = recorded_;
+    e.type = type;
+    e.code = code;
+    e.domain = domain;
+    e.args.fill(0.0);
+    std::size_t i = 0;
+    for (const double a : args) {
+        if (i >= e.args.size())
+            break;
+        e.args[i++] = a;
+    }
+    head_ = (head_ + 1) % events_.size();
+    ++recorded_;
+}
+
+std::vector<TraceEvent>
+TraceRing::snapshot() const
+{
+    std::vector<TraceEvent> out;
+    const std::size_t n = size();
+    out.reserve(n);
+    // When full, head_ points at the oldest event; when partially
+    // filled, the oldest is slot 0.
+    const std::size_t start =
+        recorded_ < events_.size() ? 0 : head_;
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(events_[(start + i) % events_.size()]);
+    return out;
+}
+
+void
+TraceRing::clear()
+{
+    head_ = 0;
+    recorded_ = 0;
+    for (auto &e : events_)
+        e = TraceEvent{};
+}
+
+} // namespace tmo::obs

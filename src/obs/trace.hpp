@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Deterministic per-host trace ring.
+ *
+ * Every instrumented component records typed events stamped on the
+ * owning shard's sim-clock. Because the stamp is simulated time (not
+ * wall time) and each host's ring is written only from that host's
+ * shard, traces are bit-identical for serial and any `--jobs N`
+ * execution, including under fault plans. The ring is fixed-capacity
+ * and overwrites the oldest events, so tracing a long soak costs
+ * bounded memory.
+ *
+ * Components hold a `TraceRing *` that is nullptr when tracing is
+ * off: the disabled path is a single pointer test.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace tmo::obs
+{
+
+/** What kind of event a TraceEvent describes. */
+enum class TraceEventType : std::uint8_t {
+    /** A PSI some/full state turned on or off.
+     *  code = resource * 2 + kind (see psi::Resource / psi::Kind),
+     *  a0 = entered (1) / left (0), a1 = total stall so far (ns). */
+    PSI_STATE,
+    /** One Senpai control tick with every modulation term.
+     *  code = guard bits (b0 IO guard, b1 swap watermark, b2
+     *  degradation halving), domain = cgroup id,
+     *  a0 = mem pressure, a1 = io pressure, a2 = base step,
+     *  a3 = after PSI backoff + IO guard, a4 = after write
+     *  regulation, a5 = after swap watermark, a6 = after degradation
+     *  halving, a7 = final bytes requested. */
+    SENPAI_TICK,
+    /** One reclaim pass through a memcg.
+     *  domain = cgroup id, a0 = target bytes, a1 = reclaimed bytes,
+     *  a2 = anon pages, a3 = file pages, a4 = file refault cost,
+     *  a5 = anon refault cost, a6 = pages scanned, a7 = cpu us. */
+    RECLAIM_PASS,
+    /** A backend store/load.
+     *  code = 0 store, 1 load, 2 store-reject, 3 load-error;
+     *  domain = backend track (see BackendTrack),
+     *  a0 = latency us, a1 = bytes, a2 = queue delay us,
+     *  a3 = block IO (1) / in-DRAM (0). */
+    BACKEND_OP,
+    /** A fault-plan event fired. code = FaultKind, a0 = argument. */
+    FAULT_INJECT,
+    /** A fault healed (device back online, controller restarted).
+     *  code = FaultKind of the recovery event. */
+    FAULT_RECOVER,
+    /** OomdLite killed a container. domain = cgroup id,
+     *  a0 = full-PSI fraction that triggered the kill. */
+    OOMD_KILL,
+    /** Controller lifecycle. code = 0 start, 1 stop, 2 OomdLite
+     *  armed, 3 OomdLite disarmed. */
+    CONTROLLER,
+};
+
+constexpr std::size_t NUM_TRACE_EVENT_TYPES = 8;
+
+/** Stable lower-case name for exporters ("psi_state", ...). */
+const char *traceEventTypeName(TraceEventType type);
+
+/** domain values for BACKEND_OP events. */
+enum BackendTrack : std::uint16_t {
+    TRACK_SWAP_SSD = 0,
+    TRACK_ZSWAP = 1,
+    TRACK_NVM = 2,
+    TRACK_FILESYSTEM = 3,
+};
+
+/** One trace record. args slots beyond those documented per type are
+ *  zero. */
+struct TraceEvent {
+    sim::SimTime time = 0;  ///< Shard sim-clock stamp.
+    std::uint64_t seq = 0;  ///< Per-ring monotone sequence number.
+    TraceEventType type = TraceEventType::PSI_STATE;
+    std::uint8_t code = 0;
+    std::uint16_t domain = 0;
+    std::array<double, 8> args{};
+};
+
+/**
+ * Fixed-capacity ring of TraceEvents, oldest-overwritten. One per
+ * host; never shared across shards.
+ */
+class TraceRing
+{
+  public:
+    /** @param capacity_bytes Ring size; at least one event. */
+    explicit TraceRing(std::size_t capacity_bytes);
+
+    /** Append one event stamped @p now. Extra args beyond 8 are
+     *  ignored; missing ones read as zero. */
+    void record(sim::SimTime now, TraceEventType type,
+                std::uint8_t code, std::uint16_t domain,
+                std::initializer_list<double> args = {});
+
+    /** Events currently held, oldest first. */
+    std::vector<TraceEvent> snapshot() const;
+
+    /** Total events ever recorded (including overwritten ones). */
+    std::uint64_t recorded() const { return recorded_; }
+
+    /** Events lost to overwrite. */
+    std::uint64_t dropped() const
+    {
+        return recorded_ <= events_.size()
+                   ? 0
+                   : recorded_ - events_.size();
+    }
+
+    /** Events currently held. */
+    std::size_t size() const
+    {
+        return recorded_ < events_.size()
+                   ? static_cast<std::size_t>(recorded_)
+                   : events_.size();
+    }
+
+    /** Maximum events the ring can hold. */
+    std::size_t capacity() const { return events_.size(); }
+
+    /** Drop all events and restart sequence numbering. */
+    void clear();
+
+  private:
+    std::vector<TraceEvent> events_;
+    std::size_t head_ = 0;        ///< Next write slot.
+    std::uint64_t recorded_ = 0;  ///< Doubles as the next seq.
+};
+
+} // namespace tmo::obs

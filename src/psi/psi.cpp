@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/trace.hpp"
+
 namespace tmo::psi
 {
 
@@ -122,6 +124,18 @@ void
 PsiGroup::taskChange(unsigned clear, unsigned set, sim::SimTime now)
 {
     accrue(now);
+
+    // Snapshot which stall states hold before the transition; only
+    // when tracing is on (the common path pays one pointer test).
+    std::array<bool, NUM_RESOURCES * NUM_KINDS> before{};
+    if (trace_) {
+        for (std::size_t ri = 0; ri < NUM_RESOURCES; ++ri) {
+            const auto r = static_cast<Resource>(ri);
+            before[ri * NUM_KINDS + SOME] = stateActive(r, SOME);
+            before[ri * NUM_KINDS + FULL] = stateActive(r, FULL);
+        }
+    }
+
     for (unsigned bit = 1; bit <= TSK_IOWAIT; bit <<= 1) {
         if (clear & bit) {
             const std::size_t idx = bitIndex(bit);
@@ -133,6 +147,25 @@ PsiGroup::taskChange(unsigned clear, unsigned set, sim::SimTime now)
         }
         if (set & bit)
             ++nr_[bitIndex(bit)];
+    }
+
+    if (trace_) {
+        for (std::size_t ri = 0; ri < NUM_RESOURCES; ++ri) {
+            const auto r = static_cast<Resource>(ri);
+            for (std::size_t k = 0; k < NUM_KINDS; ++k) {
+                const bool was = before[ri * NUM_KINDS + k];
+                const bool is =
+                    stateActive(r, static_cast<Kind>(k));
+                if (was == is)
+                    continue;
+                trace_->record(
+                    now, obs::TraceEventType::PSI_STATE,
+                    static_cast<std::uint8_t>(ri * NUM_KINDS + k),
+                    traceDomain_,
+                    {is ? 1.0 : 0.0,
+                     static_cast<double>(stallTime_[ri][k])});
+            }
+        }
     }
 }
 

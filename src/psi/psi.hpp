@@ -35,6 +35,11 @@
 
 #include "sim/time.hpp"
 
+namespace tmo::obs
+{
+class TraceRing;
+} // namespace tmo::obs
+
 namespace tmo::psi
 {
 
@@ -122,6 +127,19 @@ class PsiGroup
     /** Time with at least one non-idle task, up to last transition. */
     sim::SimTime nonIdleTime() const { return nonIdleTime_; }
 
+    /**
+     * Attach a trace ring (nullptr detaches): every some/full state
+     * transition is recorded as a PSI_STATE event with @p domain as
+     * the owning cgroup id. Tracing off costs one pointer test per
+     * taskChange().
+     */
+    void
+    setTrace(obs::TraceRing *ring, std::uint16_t domain)
+    {
+        trace_ = ring;
+        traceDomain_ = domain;
+    }
+
   private:
     /** Index pair into the accounting arrays. */
     enum Kind { SOME = 0, FULL = 1, NUM_KINDS = 2 };
@@ -151,6 +169,9 @@ class PsiGroup
     sim::SimTime lastChange_ = 0;
     sim::SimTime lastAvgUpdate_ = 0;
     sim::SimTime nonIdleTime_ = 0;
+
+    obs::TraceRing *trace_ = nullptr;
+    std::uint16_t traceDomain_ = 0;
 };
 
 /**

@@ -44,6 +44,7 @@ void
 Histogram::add(double value)
 {
     ++counts_[indexFor(value)];
+    minSeen_ = count_ ? std::min(minSeen_, value) : value;
     ++count_;
     sum_ += value;
     maxSeen_ = std::max(maxSeen_, value);
@@ -66,15 +67,36 @@ Histogram::quantile(double q) const
     for (std::size_t i = 0; i < numBuckets_; ++i) {
         const double next = cumulative + static_cast<double>(counts_[i]);
         if (next >= target && counts_[i] > 0) {
-            // Interpolate within the bucket in log space.
             const double frac =
                 (target - cumulative) / static_cast<double>(counts_[i]);
-            const double lo = logMin_ + static_cast<double>(i) * logStep_;
-            return std::pow(10.0, lo + frac * logStep_);
+            // Bucket bounds in value space. The edge buckets absorb
+            // out-of-range samples, so their log-spaced bounds lie:
+            // interpolate the overflow bucket up to the largest sample
+            // actually seen and the underflow bucket down from the
+            // smallest, instead of fabricating an in-range value.
+            const double lo_log = logMin_ + static_cast<double>(i) * logStep_;
+            double lo = std::pow(10.0, lo_log);
+            double hi = std::pow(10.0, lo_log + logStep_);
+            if (i + 1 == numBuckets_)
+                hi = std::max(maxSeen_, lo);
+            if (i == 0)
+                lo = std::min(minSeen_, hi);
+            // Interpolate in log space when possible (log-spaced
+            // buckets), linearly when the edge extends to <= 0.
+            double value;
+            if (lo > 0.0)
+                value = std::pow(10.0, std::log10(lo) +
+                                           frac * (std::log10(hi) -
+                                                   std::log10(lo)));
+            else
+                value = lo + frac * (hi - lo);
+            // Never report outside the observed sample range; this
+            // also makes q -> 1 return exactly the recorded maximum.
+            return std::clamp(value, minSeen_, maxSeen_);
         }
         cumulative = next;
     }
-    return valueFor(numBuckets_ - 1);
+    return maxSeen_;
 }
 
 void
@@ -84,6 +106,7 @@ Histogram::reset()
     count_ = 0;
     sum_ = 0.0;
     maxSeen_ = 0.0;
+    minSeen_ = 0.0;
 }
 
 } // namespace tmo::stats

@@ -36,7 +36,16 @@ class Histogram
     /** Mean of recorded samples. */
     double mean() const;
 
-    /** Approximate quantile, q in [0, 1]. Returns 0 when empty. */
+    /**
+     * Approximate quantile, q in [0, 1]. Returns 0 when empty.
+     *
+     * Results are monotone in q and bounded by the observed sample
+     * range [min(), max()]: out-of-range samples clamp into the edge
+     * buckets on add(), so the edge buckets interpolate against the
+     * recorded extremes instead of the log-spaced bucket bounds (a
+     * p99/p100 of a latency spike beyond max_value reports the spike,
+     * not a fabricated in-range value). q = 1 returns exactly max().
+     */
     double quantile(double q) const;
 
     /** Shorthand percentiles. */
@@ -46,6 +55,9 @@ class Histogram
 
     /** Largest recorded sample. */
     double max() const { return maxSeen_; }
+
+    /** Smallest recorded sample (0 when empty). */
+    double min() const { return count_ ? minSeen_ : 0.0; }
 
     /** Drop all samples. */
     void reset();
@@ -63,6 +75,7 @@ class Histogram
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
     double maxSeen_ = 0.0;
+    double minSeen_ = 0.0;
 };
 
 } // namespace tmo::stats

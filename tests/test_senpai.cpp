@@ -12,6 +12,32 @@
 
 using namespace tmo;
 
+namespace tmo::core
+{
+
+/** White-box access for pinning controller-internal regressions. */
+struct SenpaiTestPeer {
+    /** Install a pressure baseline as if the last real tick happened
+     *  at @p last_tick with the given PSI totals. */
+    static void
+    forceBaseline(Senpai &senpai, sim::SimTime last_tick,
+                  sim::SimTime mem_some, sim::SimTime io_some)
+    {
+        senpai.lastTick_ = last_tick;
+        senpai.lastMemSome_ = mem_some;
+        senpai.lastIoSome_ = io_some;
+    }
+
+    /** Fire one control tick outside the event loop. */
+    static void
+    fireTick(Senpai &senpai)
+    {
+        senpai.tick();
+    }
+};
+
+} // namespace tmo::core
+
 namespace
 {
 
@@ -197,6 +223,42 @@ TEST(SenpaiTest, WriteRegulationCapsSwapOutRate)
                             .memcgOf(app.cgroup())
                             .swapoutBytes.rate(simulation.now());
     EXPECT_LT(rate, 3e6);
+}
+
+// Regression: with PressureSource::INTERVAL, a zero-length window
+// (two ticks at the same sim time, as after a controller stall /
+// crash-restart fault) must not advance the PSI baseline — doing so
+// silently drops the stall accrued since the last real reading from
+// the next pressure computation.
+TEST(SenpaiTest, ZeroWindowTickKeepsPressureBaseline)
+{
+    sim::Simulation simulation;
+    host::Host machine(simulation, hostConfig());
+    auto &app = machine.addApp(
+        workload::appPreset("feed", 512ull << 20),
+        host::AnonMode::ZSWAP);
+    auto &cg = app.cgroup();
+
+    core::Senpai senpai(simulation, machine.memory(), cg);
+    ASSERT_EQ(senpai.config().source, core::PressureSource::INTERVAL);
+
+    // Accrue 3 s of some-memory stall between t=0 and t=3 s.
+    cg.psiTaskChange(0, psi::TSK_MEMSTALL, simulation.now());
+    simulation.runUntil(3 * sim::SEC);
+    cg.psiTaskChange(psi::TSK_MEMSTALL, 0, simulation.now());
+    simulation.runUntil(6 * sim::SEC);
+
+    // Restart state: the baseline still predates the stall, and a
+    // resumed tick fires at the same sim time as lastTick_.
+    core::SenpaiTestPeer::forceBaseline(senpai, simulation.now(), 0, 0);
+    core::SenpaiTestPeer::fireTick(senpai);
+    EXPECT_DOUBLE_EQ(senpai.pressureSeries().last(), 0.0);
+
+    // The next real tick, 6 s later, must still see the 3 s of stall
+    // accrued before the zero-window tick: 3 s / 6 s = 0.5.
+    simulation.runUntil(12 * sim::SEC);
+    core::SenpaiTestPeer::fireTick(senpai);
+    EXPECT_NEAR(senpai.pressureSeries().last(), 0.5, 1e-9);
 }
 
 TEST(SenpaiTest, StopHaltsControl)

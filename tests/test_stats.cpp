@@ -6,7 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <sstream>
+#include <vector>
 
 #include "stats/ewma.hpp"
 #include "stats/histogram.hpp"
@@ -108,6 +112,85 @@ TEST(HistogramTest, OutOfRangeClamped)
     h.add(1e9);    // above range
     EXPECT_EQ(h.count(), 2u);
     EXPECT_GT(h.quantile(1.0), 0.0);
+}
+
+// Regression: a latency spike far beyond max_value lands in the
+// overflow bucket; tail quantiles must report the recorded spike, not
+// a value interpolated from the bucket's (meaningless) log bounds.
+TEST(HistogramTest, OverflowSpikeReportsRealMaximum)
+{
+    stats::Histogram h(10.0, 1000.0);
+    for (int i = 0; i < 99; ++i)
+        h.add(100.0);
+    h.add(5e6); // SSD latency spike, 5000x past max_value
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 5e6);
+    EXPECT_DOUBLE_EQ(h.max(), 5e6);
+    // p99 selects the spike's bucket: must stay within the observed
+    // sample range rather than the fabricated bucket midpoint.
+    EXPECT_LE(h.p99(), 5e6);
+    EXPECT_GE(h.p99(), 100.0);
+}
+
+// Regression: the symmetric underflow case — samples below min_value
+// must bound low quantiles by the recorded minimum.
+TEST(HistogramTest, UnderflowReportsRealMinimum)
+{
+    stats::Histogram h(10.0, 1000.0);
+    h.add(0.5);
+    h.add(100.0);
+    EXPECT_DOUBLE_EQ(h.min(), 0.5);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.5);
+    EXPECT_GE(h.quantile(0.25), 0.5);
+    EXPECT_LE(h.quantile(0.25), 100.0);
+}
+
+TEST(HistogramTest, SingleSampleAllQuantilesEqual)
+{
+    stats::Histogram h(1.0, 1e6);
+    h.add(123.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 123.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 123.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 123.0);
+}
+
+// Property check: quantiles are monotone in q, bounded by the observed
+// range, and track a sorted-vector reference within bucket resolution.
+TEST(HistogramTest, MonotoneAndTracksExactQuantile)
+{
+    std::uint64_t state = 0x9e3779b97f4a7c15ull;
+    auto next = [&state] {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    };
+    stats::Histogram h(1.0, 1e6);
+    std::vector<double> samples;
+    for (int i = 0; i < 5000; ++i) {
+        // Log-uniform in [0.1, 1e8]: exercises both edge buckets.
+        const double u = static_cast<double>(next() % 1000000) / 1e6;
+        const double v = std::pow(10.0, -1.0 + 9.0 * u);
+        h.add(v);
+        samples.push_back(v);
+    }
+    std::sort(samples.begin(), samples.end());
+    double prev = -1.0;
+    for (double q = 0.0; q <= 1.0; q += 0.01) {
+        const double hq = h.quantile(q);
+        EXPECT_GE(hq, prev) << "non-monotone at q=" << q;
+        EXPECT_GE(hq, samples.front());
+        EXPECT_LE(hq, samples.back());
+        prev = hq;
+        if (q >= 0.01 && q <= 0.99) {
+            const double ref = stats::exactQuantile(samples, q);
+            // One log bucket is ~12% wide; allow a generous 1.5x in
+            // either direction plus interpolation slack.
+            EXPECT_LE(hq, ref * 1.5) << "q=" << q;
+            EXPECT_GE(hq, ref / 1.5) << "q=" << q;
+        }
+    }
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), samples.back());
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), samples.front());
 }
 
 TEST(HistogramTest, ResetClears)

@@ -11,6 +11,10 @@
  *
  *   chaos_soak --runs 8 --minutes 10 --hosts 2
  *
+ * With --trace/--metrics-out each seed writes its own file, the seed
+ * number inserted before the extension (soak.jsonl -> soak.3.jsonl),
+ * so a failing seed's event history is on disk when it escapes.
+ *
  * Exit status: 0 when every seed completed, 1 on any escape.
  */
 
@@ -25,6 +29,7 @@
 #include "fault/fault_plan.hpp"
 #include "host/controller_registry.hpp"
 #include "host/fleet.hpp"
+#include "obs/export.hpp"
 #include "stats/table.hpp"
 
 using namespace tmo;
@@ -38,13 +43,34 @@ struct Options {
     std::size_t hosts = 2;
     unsigned jobs = 2;
     std::uint64_t seed = 1;
+    std::string traceFile;
+    std::uint64_t traceBufferMb = 8;
+    std::string metricsFile;
+    int metricsIntervalSec = 6;
 };
 
 void
 usage()
 {
     std::cerr << "usage: chaos_soak [--runs N] [--minutes N] "
-                 "[--hosts N] [--jobs N] [--seed N]\n";
+                 "[--hosts N] [--jobs N] [--seed N]\n"
+                 "                  [--trace FILE] "
+                 "[--trace-buffer-mb N]\n"
+                 "                  [--metrics-out FILE] "
+                 "[--metrics-interval-sec N]\n";
+}
+
+/** soak.jsonl + seed 3 -> soak.3.jsonl (suffix when no extension). */
+std::string
+perSeedPath(const std::string &path, std::uint64_t seed)
+{
+    const auto dot = path.rfind('.');
+    const auto slash = path.find_last_of("/\\");
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return path + "." + std::to_string(seed);
+    return path.substr(0, dot) + "." + std::to_string(seed) +
+           path.substr(dot);
 }
 
 bool
@@ -70,6 +96,14 @@ parse(int argc, char **argv, Options &options)
             options.jobs = static_cast<unsigned>(std::stoul(value));
         } else if (flag == "--seed") {
             options.seed = std::stoull(value);
+        } else if (flag == "--trace") {
+            options.traceFile = value;
+        } else if (flag == "--trace-buffer-mb") {
+            options.traceBufferMb = std::stoull(value);
+        } else if (flag == "--metrics-out") {
+            options.metricsFile = value;
+        } else if (flag == "--metrics-interval-sec") {
+            options.metricsIntervalSec = std::stoi(value);
         } else {
             std::cerr << "chaos_soak: unknown flag: " << flag << "\n";
             return false;
@@ -79,6 +113,12 @@ parse(int argc, char **argv, Options &options)
         options.minutes <= 0) {
         std::cerr << "chaos_soak: --runs/--hosts/--minutes must be "
                      ">= 1\n";
+        return false;
+    }
+    if (options.traceBufferMb == 0 ||
+        options.metricsIntervalSec <= 0) {
+        std::cerr << "chaos_soak: --trace-buffer-mb/"
+                     "--metrics-interval-sec must be >= 1\n";
         return false;
     }
     return true;
@@ -128,6 +168,15 @@ main(int argc, char **argv)
                              .controller(host::controllerFactoryFor(
                                  "senpai", {}))
                              .build();
+            if (!options.traceFile.empty())
+                fleet.enableTracing(static_cast<std::size_t>(
+                                        options.traceBufferMb)
+                                    << 20);
+            if (!options.metricsFile.empty())
+                fleet.enableMetrics(
+                    static_cast<sim::SimTime>(
+                        options.metricsIntervalSec) *
+                    sim::SEC);
             fleet.start();
 
             std::vector<std::unique_ptr<fault::FaultInjector>>
@@ -161,6 +210,20 @@ main(int argc, char **argv)
                           stats::fmt(savings, 2),
                           std::to_string(degradation),
                           std::to_string(fleet.failedCount())});
+
+            if (!options.traceFile.empty())
+                obs::writeTraceFile(
+                    perSeedPath(options.traceFile, seed),
+                    fleet.traces());
+            if (!options.metricsFile.empty()) {
+                const auto merged = fleet.metricSeries();
+                std::vector<const stats::TimeSeries *> series;
+                series.reserve(merged.size());
+                for (const auto &s : merged)
+                    series.push_back(&s);
+                obs::writeMetricsFile(
+                    perSeedPath(options.metricsFile, seed), series);
+            }
         } catch (const std::exception &error) {
             escaped = true;
             std::cerr << "chaos_soak: seed " << seed

@@ -37,6 +37,11 @@
  *   --chaos SEED         additionally inject a random per-host fault
  *                        plan derived from SEED (deterministic)
  *   --csv                machine-readable series output
+ *   --trace FILE         write the merged event trace (.jsonl/.csv,
+ *                        anything else: Chrome trace-event JSON)
+ *   --trace-buffer-mb N  per-host trace ring capacity [8]
+ *   --metrics-out FILE   write sampled metric series (.jsonl/.csv)
+ *   --metrics-interval-sec N  metric sampling period [6]
  */
 
 #include <algorithm>
@@ -52,6 +57,7 @@
 #include "fault/fault_plan.hpp"
 #include "host/controller_registry.hpp"
 #include "host/fleet.hpp"
+#include "obs/export.hpp"
 #include "stats/table.hpp"
 #include "stats/timeseries.hpp"
 #include "workload/app_profile.hpp"
@@ -81,6 +87,10 @@ struct Options {
      *  time; empty = none. */
     fault::FaultPlan faultPlan;
     std::optional<std::uint64_t> chaosSeed;
+    std::string traceFile;
+    std::uint64_t traceBufferMb = 8;
+    std::string metricsFile;
+    int metricsIntervalSec = 6;
 };
 
 void
@@ -98,7 +108,10 @@ usage()
            "               [--psi-threshold F] [--minutes N] "
            "[--hosts N] [--jobs N]\n"
            "               [--epoch-sec N] [--seed N] "
-           "[--fault-plan FILE] [--chaos SEED] [--csv]\n";
+           "[--fault-plan FILE] [--chaos SEED] [--csv]\n"
+           "               [--trace FILE] [--trace-buffer-mb N]\n"
+           "               [--metrics-out FILE] "
+           "[--metrics-interval-sec N]\n";
 }
 
 std::optional<host::AnonMode>
@@ -224,6 +237,24 @@ parse(int argc, char **argv, Options &options)
             }
         } else if (flag == "--seed") {
             options.seed = std::stoull(value);
+        } else if (flag == "--trace") {
+            options.traceFile = value;
+        } else if (flag == "--trace-buffer-mb") {
+            options.traceBufferMb = std::stoull(value);
+            if (options.traceBufferMb == 0) {
+                std::cerr << "tmo_sim: --trace-buffer-mb must be "
+                             ">= 1\n";
+                return false;
+            }
+        } else if (flag == "--metrics-out") {
+            options.metricsFile = value;
+        } else if (flag == "--metrics-interval-sec") {
+            options.metricsIntervalSec = std::stoi(value);
+            if (options.metricsIntervalSec <= 0) {
+                std::cerr << "tmo_sim: --metrics-interval-sec must "
+                             "be >= 1\n";
+                return false;
+            }
         } else {
             std::cerr << "tmo_sim: unknown flag: " << flag << "\n";
             return false;
@@ -471,6 +502,13 @@ main(int argc, char **argv)
         usage();
         return 2;
     }
+    if (!options.traceFile.empty())
+        fleet.enableTracing(
+            static_cast<std::size_t>(options.traceBufferMb) << 20);
+    if (!options.metricsFile.empty())
+        fleet.enableMetrics(
+            static_cast<sim::SimTime>(options.metricsIntervalSec) *
+            sim::SEC);
     fleet.start();
 
     // Fault delivery: the scripted plan applies to every host; --chaos
@@ -524,6 +562,22 @@ main(int argc, char **argv)
         else
             printSingleHostSummary(fleet.host(0), options,
                                    injectors[0].get());
+    }
+
+    try {
+        if (!options.traceFile.empty())
+            obs::writeTraceFile(options.traceFile, fleet.traces());
+        if (!options.metricsFile.empty()) {
+            const auto merged = fleet.metricSeries();
+            std::vector<const stats::TimeSeries *> series;
+            series.reserve(merged.size());
+            for (const auto &s : merged)
+                series.push_back(&s);
+            obs::writeMetricsFile(options.metricsFile, series);
+        }
+    } catch (const std::runtime_error &error) {
+        std::cerr << "tmo_sim: " << error.what() << "\n";
+        return 1;
     }
     return 0;
 }
