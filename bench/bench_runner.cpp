@@ -1,0 +1,480 @@
+/**
+ * @file
+ * Continuous benchmark runner: machine-readable performance trajectory.
+ *
+ * TMO ships because its userspace overhead is negligible (§4);
+ * keeping this reproduction "as fast as the hardware allows" needs
+ * numbers, not vibes. This runner times the hot paths the micro_*
+ * suites cover (memcg lookup, page access/fault, LRU rotation, PSI
+ * task change, RNG, reclaim scan throughput, idle-age breakdown) plus
+ * a representative fig-style workload (one host, feed preset, Senpai)
+ * under fixed seeds, and emits BENCH_<sha>.json:
+ *
+ *   {
+ *     "schema": "tmo-bench/1",
+ *     "git_sha": "<sha>",            // --sha flag or GIT_SHA env
+ *     "scale": "quick" | "full",
+ *     "host": { "pages": N, "cgroups": M },
+ *     "metrics": {
+ *       "<name>": { "value": <number>, "unit": "<unit>",
+ *                    "better": "lower" | "higher" }
+ *     },
+ *     "checks": { "<name>": <number> }   // determinism anchors, not gated
+ *   }
+ *
+ * tools/bench_check.py compares a fresh run against the committed
+ * baseline (bench/BENCH_baseline.json) and fails on regressions
+ * beyond a tolerance; the CI `bench` job wires both together.
+ *
+ * Wall-clock timing is inherently machine-dependent — every metric is
+ * the median of repeated runs, and the gate uses a generous relative
+ * tolerance. The `checks` section, in contrast, must be bit-stable
+ * across machines (fixed seeds, simulated clock only).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "backend/filesystem.hpp"
+#include "backend/ssd.hpp"
+#include "backend/zswap.hpp"
+#include "cgroup/cgroup.hpp"
+#include "core/senpai.hpp"
+#include "core/workingset_profiler.hpp"
+#include "host/host.hpp"
+#include "mem/memory_manager.hpp"
+#include "psi/psi.hpp"
+#include "sim/rng.hpp"
+#include "workload/app_profile.hpp"
+
+using namespace tmo;
+using Clock = std::chrono::steady_clock;
+
+namespace
+{
+
+constexpr std::uint32_t PAGE = 64 * 1024;
+
+struct Metric {
+    double value = 0.0;
+    std::string unit;
+    std::string better; // "lower" or "higher"
+};
+
+struct Report {
+    std::string sha = "local";
+    std::string scale = "full";
+    std::size_t pages = 0;
+    std::size_t cgroups = 0;
+    std::map<std::string, Metric> metrics;
+    std::map<std::string, double> checks;
+};
+
+/** Optimization barrier for benchmark results. */
+volatile double g_sink = 0.0;
+
+double
+elapsedNs(Clock::time_point start, Clock::time_point end)
+{
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count());
+}
+
+/** Median wall time of @p reps runs of @p fn, nanoseconds. */
+template <typename Fn>
+double
+medianNs(int reps, Fn &&fn)
+{
+    std::vector<double> times;
+    times.reserve(static_cast<std::size_t>(reps));
+    for (int r = 0; r < reps; ++r) {
+        const auto start = Clock::now();
+        fn();
+        times.push_back(elapsedNs(start, Clock::now()));
+    }
+    std::sort(times.begin(), times.end());
+    return times[times.size() / 2];
+}
+
+/** Peak resident set size of this process, bytes (0 off-Linux). */
+double
+peakRssBytes()
+{
+#ifdef __linux__
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line)) {
+        if (line.rfind("VmHWM:", 0) == 0) {
+            std::istringstream fields(line.substr(6));
+            double kb = 0.0;
+            fields >> kb;
+            return kb * 1024.0;
+        }
+    }
+#endif
+    return 0.0;
+}
+
+/**
+ * A multi-cgroup memory-manager fixture: @p n_cg cgroups under one
+ * parent, @p n_pages pages total spread round-robin, alternating
+ * anon/file. Mirrors the micro_reclaim Setup but at fleet-like
+ * cgroup counts — the shapes the index-map and age-list work target.
+ */
+struct ManagerFixture {
+    cgroup::CgroupTree tree;
+    backend::SsdDevice ssd{backend::ssdSpecForClass('C'), 1};
+    backend::FilesystemBackend fs{ssd};
+    backend::ZswapPool zswap{{}, 2};
+    std::unique_ptr<mem::MemoryManager> mm;
+    cgroup::Cgroup *parent = nullptr;
+    std::vector<cgroup::Cgroup *> cgs;
+    std::vector<mem::PageIdx> pages;
+
+    ManagerFixture(std::size_t n_cg, std::size_t n_pages)
+    {
+        mem::MemoryConfig config;
+        config.ramBytes =
+            static_cast<std::uint64_t>(n_pages + 4096) * PAGE;
+        config.pageBytes = PAGE;
+        mm = std::make_unique<mem::MemoryManager>(config, 3);
+        parent = &tree.create("bench");
+        for (std::size_t c = 0; c < n_cg; ++c) {
+            cgs.push_back(
+                &tree.create("cg" + std::to_string(c), parent));
+            mm->attach(*cgs.back(), &zswap, &fs, 3.0);
+        }
+        pages.reserve(n_pages);
+        for (std::size_t i = 0; i < n_pages; ++i)
+            pages.push_back(mm->newPage(*cgs[i % n_cg], i % 2 == 0,
+                                        true, 0));
+    }
+};
+
+void
+runMicroSuites(Report &report, std::size_t n_cg, std::size_t n_pages)
+{
+    ManagerFixture fx(n_cg, n_pages);
+
+    // --- memcg lookup (micro_reclaim territory: the per-page entry
+    // point every newPage/reclaim call goes through) ----------------
+    {
+        const std::size_t iters = 2'000'000;
+        std::uint64_t sink = 0;
+        const double ns = medianNs(3, [&] {
+            for (std::size_t i = 0; i < iters; ++i)
+                sink += fx.mm->memcgOf(*fx.cgs[i % n_cg])
+                            .lru.totalPages();
+        });
+        g_sink = static_cast<double>(sink);
+        report.metrics["memcg_lookup_ns_per_op"] =
+            {ns / static_cast<double>(iters), "ns/op", "lower"};
+    }
+
+    // --- resident access (LRU bookkeeping fast path) -----------------
+    {
+        const std::size_t iters = 1'000'000;
+        sim::SimTime now = 0;
+        const double ns = medianNs(3, [&] {
+            for (std::size_t i = 0; i < iters; ++i) {
+                now += 100;
+                fx.mm->access(fx.pages[i % fx.pages.size()], now);
+            }
+        });
+        report.metrics["access_resident_ns_per_op"] =
+            {ns / static_cast<double>(iters), "ns/op", "lower"};
+    }
+
+    // --- idle-age breakdown at profiler cadence ----------------------
+    // Touch a small warm set far in the future, then poll the
+    // breakdown for every cgroup: the working-set profiler pattern.
+    {
+        sim::SimTime now = sim::HOUR;
+        for (std::size_t i = 0; i < fx.pages.size() / 64; ++i)
+            fx.mm->access(fx.pages[i], now);
+        const int polls = 20;
+        const double ns = medianNs(3, [&] {
+            double acc = 0.0;
+            for (int p = 0; p < polls; ++p)
+                for (auto *cg : fx.cgs)
+                    acc += fx.mm->idleBreakdown(*cg, now).cold;
+            g_sink = acc;
+        });
+        report.metrics["idle_breakdown_us_per_poll"] =
+            {ns / 1e3 / static_cast<double>(polls * fx.cgs.size()),
+             "us/poll", "lower"};
+    }
+
+    // --- subtree reclaim throughput + scan efficiency ----------------
+    {
+        sim::SimTime now = sim::HOUR;
+        std::uint64_t reclaimed = 0, scanned = 0;
+        const double ns = medianNs(3, [&] {
+            for (int round = 0; round < 8; ++round) {
+                now += 6 * sim::SEC;
+                const auto outcome = fx.mm->reclaim(
+                    *fx.parent,
+                    static_cast<std::uint64_t>(n_cg) * 4 * PAGE, now);
+                reclaimed += outcome.reclaimedBytes / PAGE;
+                scanned += outcome.scannedPages;
+            }
+            // Refill outside nothing: refault cost stays out of the
+            // timed loop by keeping rounds small against the pool.
+        });
+        report.metrics["reclaim_pages_per_sec"] =
+            {reclaimed ? static_cast<double>(reclaimed) / 3.0 /
+                             (ns / 1e9)
+                       : 0.0,
+             "pages/s", "higher"};
+        report.metrics["reclaim_scan_efficiency"] =
+            {scanned ? static_cast<double>(reclaimed) /
+                           static_cast<double>(scanned)
+                     : 0.0,
+             "reclaimed/scanned", "higher"};
+        report.checks["reclaim_scanned_pages"] =
+            static_cast<double>(scanned);
+    }
+
+    // --- fault path (zswap round trip, micro_reclaim's
+    // BM_FaultFromZswap shape) ---------------------------------------
+    {
+        sim::SimTime now = 2 * sim::HOUR;
+        fx.mm->reclaim(*fx.parent,
+                       static_cast<std::uint64_t>(n_pages) / 4 * PAGE,
+                       now);
+        std::vector<mem::PageIdx> offloaded;
+        for (const auto idx : fx.pages)
+            if (!fx.mm->pages()[idx].resident())
+                offloaded.push_back(idx);
+        if (!offloaded.empty()) {
+            double faults = 0.0;
+            const double ns = medianNs(1, [&] {
+                for (const auto idx : offloaded) {
+                    now += 1000;
+                    fx.mm->access(idx, now);
+                    ++faults;
+                }
+            });
+            report.metrics["fault_zswap_ns_per_op"] =
+                {ns / std::max(faults, 1.0), "ns/op", "lower"};
+            report.checks["faulted_pages"] = faults;
+        }
+    }
+
+    // --- micro_lru: rotation hot path --------------------------------
+    {
+        std::vector<mem::Page> lru_pages(65536);
+        mem::LruList list;
+        for (mem::PageIdx i = 0; i < 65536; ++i)
+            list.addHead(lru_pages, i);
+        const std::size_t iters = 4'000'000;
+        const double ns = medianNs(3, [&] {
+            for (std::size_t i = 0; i < iters; ++i)
+                list.moveToHead(lru_pages, list.tail());
+        });
+        report.metrics["lru_rotate_ns_per_op"] =
+            {ns / static_cast<double>(iters), "ns/op", "lower"};
+    }
+
+    // --- micro_psi: task-change hook ---------------------------------
+    {
+        psi::PsiGroup group;
+        sim::SimTime now = 0;
+        // One task enters the group on-CPU; the bench then flips it
+        // between executing and memory-stalled. `stalled` lives
+        // outside the lambda so repetitions stay state-consistent.
+        group.taskChange(0, psi::TSK_ONCPU, now);
+        bool stalled = false;
+        const std::size_t iters = 2'000'000;
+        const double ns = medianNs(3, [&] {
+            for (std::size_t i = 0; i < iters; ++i) {
+                now += 1000;
+                if (stalled)
+                    group.taskChange(psi::TSK_MEMSTALL,
+                                     psi::TSK_ONCPU, now);
+                else
+                    group.taskChange(psi::TSK_ONCPU,
+                                     psi::TSK_MEMSTALL, now);
+                stalled = !stalled;
+            }
+        });
+        report.metrics["psi_task_change_ns_per_op"] =
+            {ns / static_cast<double>(iters), "ns/op", "lower"};
+    }
+
+    // --- micro_rng: innermost simulation loop ------------------------
+    {
+        sim::Rng rng(1);
+        const std::size_t iters = 8'000'000;
+        std::uint64_t sink = 0;
+        const double ns = medianNs(3, [&] {
+            for (std::size_t i = 0; i < iters; ++i)
+                sink ^= rng.next();
+        });
+        g_sink = static_cast<double>(sink);
+        report.metrics["rng_ns_per_op"] =
+            {ns / static_cast<double>(iters), "ns/op", "lower"};
+    }
+}
+
+/**
+ * Representative fig-style workload: one host, feed preset, Senpai
+ * probing, working-set profiler polling coldness — the §4.1-shaped
+ * single-host experiment all fig benches build on. Fixed seed; the
+ * sim-side counters land in `checks` as cross-machine determinism
+ * anchors while the wall time is the gated metric.
+ */
+void
+runFigWorkload(Report &report, sim::SimTime minutes)
+{
+    double wall_ns = 0.0;
+    std::uint64_t pgscan = 0, pgsteal = 0;
+    const double ns = medianNs(1, [&] {
+        sim::Simulation simulation;
+        host::HostConfig config;
+        config.mem.ramBytes = 1ull << 30;
+        config.mem.pageBytes = PAGE;
+        config.seed = 42;
+        host::Host machine(simulation, config);
+        auto &app = machine.addApp(
+            workload::appPreset("feed", 512ull << 20),
+            host::AnonMode::ZSWAP);
+        machine.start();
+        app.start();
+        core::Senpai senpai(simulation, machine.memory(),
+                            app.cgroup(),
+                            core::senpaiAggressiveConfig());
+        senpai.start();
+        core::WorkingsetProfiler profiler(simulation, app.cgroup());
+        profiler.attachMemory(&machine.memory());
+        profiler.start();
+        simulation.runUntil(minutes * sim::MINUTE);
+        pgscan = app.cgroup().stats().pgscan;
+        pgsteal = app.cgroup().stats().pgsteal;
+    });
+    wall_ns = ns;
+    report.metrics["fig_workload_wall_ms"] =
+        {wall_ns / 1e6, "ms", "lower"};
+    if (wall_ns > 0.0)
+        report.metrics["fig_workload_scanned_pages_per_sec"] =
+            {static_cast<double>(pgscan) / (wall_ns / 1e9),
+             "pages/s", "higher"};
+    report.checks["fig_workload_pgscan"] = static_cast<double>(pgscan);
+    report.checks["fig_workload_pgsteal"] =
+        static_cast<double>(pgsteal);
+}
+
+std::string
+jsonNumber(double v)
+{
+    std::ostringstream out;
+    out.precision(17);
+    out << v;
+    return out.str();
+}
+
+void
+writeJson(const Report &report, const std::string &path)
+{
+    std::ofstream out(path);
+    out << "{\n";
+    out << "  \"schema\": \"tmo-bench/1\",\n";
+    out << "  \"git_sha\": \"" << report.sha << "\",\n";
+    out << "  \"scale\": \"" << report.scale << "\",\n";
+    out << "  \"host\": { \"pages\": " << report.pages
+        << ", \"cgroups\": " << report.cgroups << " },\n";
+    out << "  \"metrics\": {\n";
+    std::size_t i = 0;
+    for (const auto &[name, metric] : report.metrics) {
+        out << "    \"" << name << "\": { \"value\": "
+            << jsonNumber(metric.value) << ", \"unit\": \""
+            << metric.unit << "\", \"better\": \"" << metric.better
+            << "\" }";
+        out << (++i < report.metrics.size() ? ",\n" : "\n");
+    }
+    out << "  },\n";
+    out << "  \"checks\": {\n";
+    i = 0;
+    for (const auto &[name, value] : report.checks) {
+        out << "    \"" << name << "\": " << jsonNumber(value);
+        out << (++i < report.checks.size() ? ",\n" : "\n");
+    }
+    out << "  }\n";
+    out << "}\n";
+}
+
+void
+usage()
+{
+    std::cout
+        << "usage: bench_runner [--quick] [--sha <sha>] [--out <file>]\n"
+           "  --quick   small page/cgroup counts (CI smoke)\n"
+           "  --sha     git sha recorded in the report "
+           "(default: $GIT_SHA or 'local')\n"
+           "  --out     output path (default: BENCH_<sha>.json)\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Report report;
+    if (const char *env = std::getenv("GIT_SHA"))
+        report.sha = env;
+    std::string out_path;
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--sha" && i + 1 < argc) {
+            report.sha = argv[++i];
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::cerr << "bench_runner: unknown argument: " << arg
+                      << "\n";
+            usage();
+            return 2;
+        }
+    }
+
+    // 64 cgroups x 1M pages is the acceptance-scale configuration;
+    // quick mode keeps the same shape at smoke-test cost.
+    report.scale = quick ? "quick" : "full";
+    report.cgroups = 64;
+    report.pages = quick ? 65'536 : 1'048'576;
+
+    std::cout << "bench_runner: scale=" << report.scale << " pages="
+              << report.pages << " cgroups=" << report.cgroups
+              << " sha=" << report.sha << "\n";
+
+    runMicroSuites(report, report.cgroups, report.pages);
+    runFigWorkload(report, quick ? 3 : 10);
+    report.metrics["peak_rss_mb"] =
+        {peakRssBytes() / (1024.0 * 1024.0), "MiB", "lower"};
+
+    if (out_path.empty())
+        out_path = "BENCH_" + report.sha + ".json";
+    writeJson(report, out_path);
+
+    for (const auto &[name, metric] : report.metrics)
+        std::cout << "  " << name << " = " << metric.value << " "
+                  << metric.unit << "\n";
+    std::cout << "bench_runner: wrote " << out_path << "\n";
+    return 0;
+}

@@ -23,6 +23,10 @@ BM_PsiTaskChange(benchmark::State &state)
 {
     psi::PsiGroup group;
     sim::SimTime now = 0;
+    // One task enters on-CPU; the loop flips it between executing and
+    // memory-stalled (clearing a state bit with no task in it is an
+    // invariant violation).
+    group.taskChange(0, psi::TSK_ONCPU, now);
     bool stalled = false;
     for (auto _ : state) {
         now += 1000;
@@ -46,6 +50,7 @@ BM_PsiTaskChangeHierarchy(benchmark::State &state)
     for (int d = 0; d < state.range(0); ++d)
         leaf = &tree.create("level" + std::to_string(d), leaf);
     sim::SimTime now = 0;
+    leaf->psiTaskChange(0, psi::TSK_ONCPU, now);
     bool stalled = false;
     for (auto _ : state) {
         now += 1000;

@@ -114,6 +114,100 @@ BM_FaultFromZswap(benchmark::State &state)
 }
 BENCHMARK(BM_FaultFromZswap)->Iterations(50000);
 
+/** Fleet-shaped fixture: many cgroups under one parent. */
+struct MultiSetup {
+    cgroup::CgroupTree tree;
+    backend::SsdDevice ssd{backend::ssdSpecForClass('C'), 1};
+    backend::FilesystemBackend fs{ssd};
+    backend::ZswapPool zswap{{}, 2};
+    std::unique_ptr<mem::MemoryManager> mm;
+    cgroup::Cgroup *parent = nullptr;
+    std::vector<cgroup::Cgroup *> cgs;
+    std::vector<mem::PageIdx> pages;
+
+    MultiSetup(std::size_t n_cg, std::size_t n_pages)
+    {
+        mem::MemoryConfig config;
+        config.ramBytes =
+            static_cast<std::uint64_t>(n_pages + 1024) * PAGE;
+        config.pageBytes = PAGE;
+        mm = std::make_unique<mem::MemoryManager>(config, 3);
+        parent = &tree.create("bench");
+        for (std::size_t c = 0; c < n_cg; ++c) {
+            cgs.push_back(
+                &tree.create("cg" + std::to_string(c), parent));
+            mm->attach(*cgs.back(), &zswap, &fs, 3.0);
+        }
+        pages.reserve(n_pages);
+        for (std::size_t i = 0; i < n_pages; ++i)
+            pages.push_back(
+                mm->newPage(*cgs[i % n_cg], i % 2 == 0, true, 0));
+    }
+};
+
+void
+BM_MemcgLookup(benchmark::State &state)
+{
+    // The per-page entry point (newPage / reclaim / controllers):
+    // index-map lookup, independent of the cgroup count.
+    MultiSetup setup(static_cast<std::size_t>(state.range(0)), 4096);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            setup.mm->memcgOf(*setup.cgs[i % setup.cgs.size()]));
+        ++i;
+    }
+}
+BENCHMARK(BM_MemcgLookup)->Arg(4)->Arg(64)->Arg(1024);
+
+void
+BM_IdleBreakdown(benchmark::State &state)
+{
+    // The working-set profiler's per-interval poll: served from the
+    // per-memcg age list, so cost tracks the warm prefix, not the
+    // page-table size.
+    MultiSetup setup(64, static_cast<std::size_t>(state.range(0)));
+    // Touch 1/64th of the pages "now"; the rest stay cold.
+    const sim::SimTime now = sim::HOUR;
+    for (std::size_t i = 0; i < setup.pages.size() / 64; ++i)
+        setup.mm->access(setup.pages[i], now);
+    std::size_t c = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(setup.mm->idleBreakdown(
+            *setup.cgs[c % setup.cgs.size()], now));
+        ++c;
+    }
+}
+BENCHMARK(BM_IdleBreakdown)->Arg(65536)->Arg(1 << 20)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_SubtreeReclaimManyCgroups(benchmark::State &state)
+{
+    // memory.reclaim on a parent with many attached children: the
+    // subtree index hands reclaim its targets directly.
+    MultiSetup setup(static_cast<std::size_t>(state.range(0)), 16384);
+    sim::SimTime now = 0;
+    std::int64_t reclaimed = 0;
+    for (auto _ : state) {
+        now += 6 * sim::SEC;
+        const auto outcome = setup.mm->reclaim(
+            *setup.parent, setup.cgs.size() * 2 * PAGE, now);
+        reclaimed += static_cast<std::int64_t>(
+            outcome.reclaimedBytes / PAGE);
+        state.PauseTiming();
+        for (const auto idx : setup.pages)
+            if (!setup.mm->pages()[idx].resident())
+                setup.mm->access(idx, now);
+        state.ResumeTiming();
+    }
+    state.SetItemsProcessed(reclaimed);
+}
+BENCHMARK(BM_SubtreeReclaimManyCgroups)
+    ->Arg(4)->Arg(64)
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(100);
+
 } // namespace
 
 BENCHMARK_MAIN();

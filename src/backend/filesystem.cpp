@@ -7,6 +7,16 @@ FilesystemBackend::FilesystemBackend(SsdDevice &device)
     : device_(device), name_("fs-" + device.spec().name)
 {}
 
+BackendStatus
+FilesystemBackend::status() const
+{
+    if (device_.offline())
+        return BackendStatus::FAILED;
+    if (device_.degraded())
+        return BackendStatus::DEGRADED;
+    return BackendStatus::HEALTHY;
+}
+
 StoreResult
 FilesystemBackend::store(std::uint64_t page_bytes,
                          double compressibility, sim::SimTime now)
@@ -18,6 +28,16 @@ FilesystemBackend::store(std::uint64_t page_bytes,
     // Clean drops are free and are visible through RECLAIM_PASS
     // events; only actual device writebacks are traced.
     if (compressibility < 0.0) {
+        if (device_.offline() || device_.sampleWriteError()) {
+            // Offline device or IO error: the writeback did NOT
+            // happen, so the page cannot be dropped (§4). Reporting
+            // the rejection keeps PG_DIRTY semantics honest instead
+            // of "writing" to a dead device.
+            result.accepted = false;
+            result.storedBytes = 0;
+            traceOp(now, OP_STORE_REJECT, 0, page_bytes, 0, true);
+            return result;
+        }
         const sim::SimTime queued = device_.writeQueueDelay(now);
         result.latency = device_.write(page_bytes, now);
         traceOp(now, OP_STORE, result.latency, page_bytes, queued,

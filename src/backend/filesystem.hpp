@@ -29,8 +29,17 @@ class FilesystemBackend : public OffloadBackend
     const std::string &name() const override { return name_; }
 
     /**
+     * Device health (§4 incidents): FAILED while the SSD is offline
+     * (dirty writeback impossible), DEGRADED under latency/wear/
+     * write-error impairment. Clean drops stay possible either way.
+     */
+    BackendStatus status() const override;
+
+    /**
      * Dropping a clean file page is free; @p compressibility < 0 marks
-     * a dirty page that must be written back first.
+     * a dirty page that must be written back first. The writeback is
+     * rejected (accepted = false) when the device is offline or the
+     * write fails — the caller must keep the page dirty and resident.
      */
     StoreResult store(std::uint64_t page_bytes, double compressibility,
                       sim::SimTime now) override;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mem/memory_manager.hpp"
 #include "psi/psi.hpp"
 
 namespace tmo::core
@@ -52,6 +53,8 @@ WorkingsetProfiler::sample()
 
     resident_.record(now, static_cast<double>(cg_->memCurrent()));
     pressure_.record(now, pressure);
+    if (mm_)
+        cold_.record(now, mm_->idleBreakdown(*cg_, now).cold);
 
     if (running_)
         event_ = sim_.after(interval_, [this] { sample(); });

@@ -23,6 +23,11 @@
 #include "sim/simulation.hpp"
 #include "stats/timeseries.hpp"
 
+namespace tmo::mem
+{
+class MemoryManager;
+}
+
 namespace tmo::core
 {
 
@@ -78,6 +83,15 @@ class WorkingsetProfiler
     /** Stop sampling. */
     void stop();
 
+    /**
+     * Also sample the cgroup's idle-age breakdown (Fig. 2 coldness)
+     * every interval from @p mm. The breakdown is served from the
+     * memory manager's incremental per-cgroup age accounting, so
+     * polling it at profiler cadence is O(warm pages), not a page-
+     * table sweep. nullptr detaches.
+     */
+    void attachMemory(mem::MemoryManager *mm) { mm_ = mm; }
+
     /** Current estimate (recomputed on demand). */
     WorkingsetEstimate estimate() const;
 
@@ -87,11 +101,18 @@ class WorkingsetProfiler
     /** Per-window pressure series aligned with residentSeries(). */
     const stats::TimeSeries &pressureSeries() const { return pressure_; }
 
+    /**
+     * Fraction of the container's pages untouched for > 5 min, one
+     * sample per interval (empty unless attachMemory() was called).
+     */
+    const stats::TimeSeries &coldSeries() const { return cold_; }
+
   private:
     void sample();
 
     sim::Simulation &sim_;
     cgroup::Cgroup *cg_;
+    mem::MemoryManager *mm_ = nullptr;
     double threshold_;
     sim::SimTime interval_;
     double margin_;
@@ -102,6 +123,7 @@ class WorkingsetProfiler
     sim::SimTime lastSample_ = 0;
     stats::TimeSeries resident_{"resident_bytes"};
     stats::TimeSeries pressure_{"window_pressure"};
+    stats::TimeSeries cold_{"cold_fraction"};
 };
 
 } // namespace tmo::core

@@ -1,0 +1,89 @@
+#include "mem/age_list.hpp"
+
+#include <cassert>
+
+namespace tmo::mem
+{
+
+void
+AgeList::touch(std::vector<Page> &pages, PageIdx idx, sim::SimTime now)
+{
+    Page &page = pages[idx];
+    page.lastAccess = now;
+    if (head_ == idx &&
+        (page.ageNext == NO_PAGE || pages[page.ageNext].lastAccess <= now)) {
+        // Already the most recent entry — the common case while the
+        // simulation clock is monotonic. (An out-of-order touch can
+        // age the head below its successor; then it must re-insert
+        // like everyone else.)
+        return;
+    }
+    remove(pages, idx);
+    insertSorted(pages, idx);
+}
+
+void
+AgeList::insertSorted(std::vector<Page> &pages, PageIdx idx)
+{
+    Page &page = pages[idx];
+    assert(page.agePrev == NO_PAGE && page.ageNext == NO_PAGE);
+
+    if (head_ == NO_PAGE) {
+        head_ = tail_ = idx;
+        ++size_;
+        return;
+    }
+    if (pages[head_].lastAccess <= page.lastAccess) {
+        // Fast path: newest access, which is every access while the
+        // simulation clock is monotonic.
+        page.ageNext = head_;
+        pages[head_].agePrev = idx;
+        head_ = idx;
+        ++size_;
+        return;
+    }
+    // Out-of-order timestamp: walk to the first entry not newer than
+    // this page and insert in front of it.
+    PageIdx cur = pages[head_].ageNext;
+    while (cur != NO_PAGE && pages[cur].lastAccess > page.lastAccess)
+        cur = pages[cur].ageNext;
+    if (cur == NO_PAGE) {
+        page.agePrev = tail_;
+        pages[tail_].ageNext = idx;
+        tail_ = idx;
+    } else {
+        page.agePrev = pages[cur].agePrev;
+        page.ageNext = cur;
+        pages[pages[cur].agePrev].ageNext = idx;
+        pages[cur].agePrev = idx;
+    }
+    ++size_;
+}
+
+void
+AgeList::remove(std::vector<Page> &pages, PageIdx idx)
+{
+    Page &page = pages[idx];
+    const bool linked = head_ == idx || page.agePrev != NO_PAGE ||
+                        page.ageNext != NO_PAGE;
+    if (!linked)
+        return;
+    if (page.agePrev != NO_PAGE)
+        pages[page.agePrev].ageNext = page.ageNext;
+    else {
+        assert(head_ == idx);
+        head_ = page.ageNext;
+    }
+    if (page.ageNext != NO_PAGE)
+        pages[page.ageNext].agePrev = page.agePrev;
+    else {
+        assert(tail_ == idx);
+        tail_ = page.agePrev;
+    }
+    page.agePrev = NO_PAGE;
+    page.ageNext = NO_PAGE;
+    assert(size_ > 0);
+    --size_;
+}
+
+} // namespace tmo::mem

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Per-cgroup page age list (incremental idle/coldness accounting).
+ *
+ * Fig. 2's idle-age breakdown used to be a full sweep over the host
+ * page table — O(#pages x #cgroups) when the working-set profiler
+ * polls every interval. Instead, every live page of a cgroup is kept
+ * on one intrusive list ordered by lastAccess, most recent at the
+ * head. Maintaining the order costs O(1) per access while simulation
+ * time advances monotonically (the page moves to the head); the
+ * breakdown then walks only the warm prefix and attributes the entire
+ * unvisited tail to the cold bucket.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/page.hpp"
+#include "sim/time.hpp"
+
+namespace tmo::mem
+{
+
+/**
+ * Intrusive list of all live pages of one cgroup, ordered by
+ * lastAccess descending (head = most recently touched). Uses the
+ * Page::agePrev/ageNext links, so membership changes allocate nothing.
+ */
+class AgeList
+{
+  public:
+    AgeList() = default;
+
+    /**
+     * Record an access (or creation) of @p idx at @p now: sets the
+     * page's lastAccess and re-positions it. O(1) when @p now is >=
+     * the current head's lastAccess — always true under monotonic
+     * simulation time; out-of-order timestamps (hand-driven tests)
+     * fall back to a sorted walk from the head.
+     */
+    void touch(std::vector<Page> &pages, PageIdx idx, sim::SimTime now);
+
+    /** Unlink @p idx (page freed). No-op when not linked. */
+    void remove(std::vector<Page> &pages, PageIdx idx);
+
+    PageIdx head() const { return head_; }
+    PageIdx tail() const { return tail_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+  private:
+    /** Insert an unlinked page in lastAccess order. */
+    void insertSorted(std::vector<Page> &pages, PageIdx idx);
+
+    PageIdx head_ = NO_PAGE;
+    PageIdx tail_ = NO_PAGE;
+    std::size_t size_ = 0;
+};
+
+} // namespace tmo::mem

@@ -22,12 +22,12 @@ MemoryManager::attach(cgroup::Cgroup &cg,
 {
     if (memcgs_.size() >= 0xffff)
         throw std::length_error("too many memory cgroups");
-    for (const auto &existing : memcgs_)
-        if (existing->cg == &cg)
-            throw std::invalid_argument("cgroup already attached: " +
-                                        cg.name());
+    if (indexOf_.count(&cg))
+        throw std::invalid_argument("cgroup already attached: " +
+                                    cg.name());
     auto mcg = std::make_unique<MemCg>();
     mcg->cg = &cg;
+    mcg->index = static_cast<std::uint16_t>(memcgs_.size());
     mcg->anonBackend = anon_backend;
     mcg->fileBackend = file_backend;
     mcg->compressibility = compressibility;
@@ -35,6 +35,12 @@ MemoryManager::attach(cgroup::Cgroup &cg,
     registerBackend(file_backend);
     memcgs_.push_back(std::move(mcg));
     MemCg &ref = *memcgs_.back();
+    indexOf_.emplace(&cg, ref.index);
+    // Index this memcg under every ancestor, so subtree enumeration
+    // (reclaim, info) is a direct lookup. Appending in attach order
+    // preserves the visit order of the old whole-table scan.
+    for (const cgroup::Cgroup *node = &cg; node; node = node->parent())
+        subtree_[node].push_back(ref.index);
 
     // Wire the memory.reclaim control file to the reclaimer.
     cg.setReclaimFn([this](cgroup::Cgroup &target, std::uint64_t bytes,
@@ -83,19 +89,19 @@ MemoryManager::registerBackend(backend::OffloadBackend *be)
 MemCg &
 MemoryManager::memcgOf(const cgroup::Cgroup &cg)
 {
-    for (auto &mcg : memcgs_)
-        if (mcg->cg == &cg)
-            return *mcg;
-    throw std::invalid_argument("cgroup not attached: " + cg.name());
+    const auto it = indexOf_.find(&cg);
+    if (it == indexOf_.end())
+        throw std::invalid_argument("cgroup not attached: " + cg.name());
+    return *memcgs_[it->second];
 }
 
 const MemCg &
 MemoryManager::memcgOf(const cgroup::Cgroup &cg) const
 {
-    for (const auto &mcg : memcgs_)
-        if (mcg->cg == &cg)
-            return *mcg;
-    throw std::invalid_argument("cgroup not attached: " + cg.name());
+    const auto it = indexOf_.find(&cg);
+    if (it == indexOf_.end())
+        throw std::invalid_argument("cgroup not attached: " + cg.name());
+    return *memcgs_[it->second];
 }
 
 std::uint64_t
@@ -208,12 +214,9 @@ MemoryManager::newPage(cgroup::Cgroup &cg, bool anon, bool resident,
         pages_.emplace_back();
     }
     Page &page = pages_[idx];
-    page.memcg = static_cast<std::uint16_t>(
-        std::find_if(memcgs_.begin(), memcgs_.end(),
-                     [&](const auto &m) { return m.get() == &mcg; }) -
-        memcgs_.begin());
+    page.memcg = mcg.index;
     page.flags = anon ? PG_ANON : 0;
-    page.lastAccess = now;
+    mcg.ages.touch(pages_, idx, now);
 
     if (!resident) {
         page.where = Where::FS;
@@ -238,7 +241,7 @@ MemoryManager::access(PageIdx idx, sim::SimTime now)
     AccessResult result;
     Page &page = pages_[idx];
     MemCg &mcg = *memcgs_[page.memcg];
-    page.lastAccess = now;
+    mcg.ages.touch(pages_, idx, now);
 
     if (page.where == Where::RAM) {
         // Hit: second-chance / activation bookkeeping.
@@ -381,6 +384,7 @@ MemoryManager::freePage(PageIdx idx)
       case Where::FS:
         break;
     }
+    mcg.ages.remove(pages_, idx);
     page.where = Where::FS;
     page.storedBytes = 0;
     page.store = 0xff;
@@ -394,35 +398,48 @@ MemoryManager::reclaim(cgroup::Cgroup &cg, std::uint64_t bytes,
                        sim::SimTime now)
 {
     // Reclaim from the subtree: this cgroup if attached, plus any
-    // attached descendants, proportional to their size.
+    // attached descendants, proportional to their size. The subtree
+    // index gives the members directly, in attach order — no scan of
+    // the whole memcg table.
     ReclaimOutcome total;
+    const auto sub = subtree_.find(&cg);
+    if (sub == subtree_.end())
+        return total;
     std::vector<MemCg *> targets;
     std::uint64_t resident = 0;
-    for (auto &mcg : memcgs_) {
-        for (const cgroup::Cgroup *node = mcg->cg; node;
-             node = node->parent()) {
-            if (node == &cg) {
-                // Descendants inside their memory.low protection are
-                // skipped; the explicitly targeted cgroup itself is
-                // not (memory.reclaim semantics).
-                if (mcg->lru.totalPages() > 0 &&
-                    (mcg->cg == &cg || !mcg->cg->lowProtected())) {
-                    targets.push_back(mcg.get());
-                    resident += mcg->lru.totalPages();
-                }
-                break;
-            }
+    for (const std::uint16_t index : sub->second) {
+        MemCg *mcg = memcgs_[index].get();
+        // Descendants inside their memory.low protection are
+        // skipped; the explicitly targeted cgroup itself is not
+        // (memory.reclaim semantics).
+        if (mcg->lru.totalPages() > 0 &&
+            (mcg->cg == &cg || !mcg->cg->lowProtected())) {
+            targets.push_back(mcg);
+            resident += mcg->lru.totalPages();
         }
     }
     if (targets.empty() || resident == 0)
         return total;
 
+    // Distribute the request by running-error accumulation: each
+    // target's exact share plus the residual of its predecessors,
+    // rounded to whole pages. Nonzero shares are floored at one page,
+    // so a request spread over many small cgroups still reclaims the
+    // asked-for total instead of rounding every share down to zero.
+    double carry = 0.0;
     for (MemCg *mcg : targets) {
         const double share = static_cast<double>(mcg->lru.totalPages()) /
                              static_cast<double>(resident);
-        const auto want = static_cast<std::uint64_t>(
-            share * static_cast<double>(bytes));
-        if (want < config_.pageBytes)
+        const double exact =
+            share * static_cast<double>(bytes) + carry;
+        auto want = static_cast<std::uint64_t>(
+                        std::max(exact, 0.0) /
+                        static_cast<double>(config_.pageBytes)) *
+                    config_.pageBytes;
+        if (want == 0 && exact > 0.0)
+            want = config_.pageBytes;
+        carry = exact - static_cast<double>(want);
+        if (want == 0)
             continue;
         const auto outcome = shrinkMemCg(*mcg, want, now);
         total.reclaimedBytes += outcome.reclaimedBytes;
@@ -448,21 +465,15 @@ CgMemInfo
 MemoryManager::info(const cgroup::Cgroup &cg) const
 {
     CgMemInfo info;
-    for (const auto &mcg : memcgs_) {
-        bool in_subtree = false;
-        for (const cgroup::Cgroup *node = mcg->cg; node;
-             node = node->parent()) {
-            if (node == &cg) {
-                in_subtree = true;
-                break;
-            }
-        }
-        if (!in_subtree)
-            continue;
-        info.anonBytes += mcg->lru.anonPages() * config_.pageBytes;
-        info.fileBytes += mcg->lru.filePages() * config_.pageBytes;
-        info.zswapBytes += mcg->zswapBytes;
-        info.swapBytes += mcg->swapBytes;
+    const auto sub = subtree_.find(&cg);
+    if (sub == subtree_.end())
+        return info;
+    for (const std::uint16_t index : sub->second) {
+        const MemCg &mcg = *memcgs_[index];
+        info.anonBytes += mcg.lru.anonPages() * config_.pageBytes;
+        info.fileBytes += mcg.lru.filePages() * config_.pageBytes;
+        info.zswapBytes += mcg.zswapBytes;
+        info.swapBytes += mcg.swapBytes;
     }
     info.residentBytes = info.anonBytes + info.fileBytes;
     return info;
@@ -473,18 +484,16 @@ MemoryManager::idleBreakdown(const cgroup::Cgroup &cg,
                              sim::SimTime now) const
 {
     const MemCg &mcg = memcgOf(cg);
-    const auto mcg_index = static_cast<std::uint16_t>(
-        std::find_if(memcgs_.begin(), memcgs_.end(),
-                     [&](const auto &m) { return m.get() == &mcg; }) -
-        memcgs_.begin());
 
-    std::uint64_t total = 0;
+    // The age list orders every live page (resident or offloaded) by
+    // lastAccess, most recent first: walk the warm prefix and stop at
+    // the first page older than the 5-minute horizon — everything
+    // behind it is cold by construction.
+    const std::uint64_t total = mcg.ages.size();
     std::uint64_t used1 = 0, used2 = 0, used5 = 0;
-    for (const Page &page : pages_) {
-        if (page.memcg != mcg_index || page.memcg == 0xffff)
-            continue;
-        // Count the full allocated footprint, resident or offloaded.
-        ++total;
+    for (PageIdx cur = mcg.ages.head(); cur != NO_PAGE;
+         cur = pages_[cur].ageNext) {
+        const Page &page = pages_[cur];
         const sim::SimTime age =
             now >= page.lastAccess ? now - page.lastAccess : 0;
         if (age <= 1 * sim::MINUTE)
@@ -493,6 +502,8 @@ MemoryManager::idleBreakdown(const cgroup::Cgroup &cg,
             ++used2;
         else if (age <= 5 * sim::MINUTE)
             ++used5;
+        else
+            break;
     }
     IdleBreakdown breakdown;
     if (total == 0)
@@ -501,8 +512,9 @@ MemoryManager::idleBreakdown(const cgroup::Cgroup &cg,
     breakdown.used1min = static_cast<double>(used1) / t;
     breakdown.used2min = static_cast<double>(used2) / t;
     breakdown.used5min = static_cast<double>(used5) / t;
-    breakdown.cold = 1.0 - breakdown.used1min - breakdown.used2min -
-                     breakdown.used5min;
+    breakdown.cold =
+        std::max(0.0, 1.0 - breakdown.used1min - breakdown.used2min -
+                          breakdown.used5min);
     return breakdown;
 }
 

@@ -16,10 +16,12 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "backend/backend.hpp"
 #include "cgroup/cgroup.hpp"
+#include "mem/age_list.hpp"
 #include "mem/lru.hpp"
 #include "mem/page.hpp"
 #include "sim/rng.hpp"
@@ -124,7 +126,14 @@ struct IdleBreakdown {
  */
 struct MemCg {
     cgroup::Cgroup *cg = nullptr;
+    /** This memcg's slot in the manager's table — cached at attach
+     *  time so per-page paths never scan the table (Page::memcg holds
+     *  the same value). */
+    std::uint16_t index = 0;
     LruVec lru;
+    /** All live pages of this cgroup by lastAccess, most recent first
+     *  (incremental idle-age accounting; see AgeList). */
+    AgeList ages;
     /** Offload backend for anon pages (zswap pool or swap partition);
      *  nullptr = file-only mode (no swapping). */
     backend::OffloadBackend *anonBackend = nullptr;
@@ -281,7 +290,12 @@ class MemoryManager
     /** Per-cgroup byte breakdown. */
     CgMemInfo info(const cgroup::Cgroup &cg) const;
 
-    /** Idle-age breakdown of a cgroup's pages (Fig. 2). */
+    /**
+     * Idle-age breakdown of a cgroup's pages (Fig. 2). Served from
+     * the per-memcg age list: cost is O(pages touched within the
+     * 5-minute horizon), not O(all pages) — cheap enough for the
+     * working-set profiler to poll every interval.
+     */
     IdleBreakdown idleBreakdown(const cgroup::Cgroup &cg,
                                 sim::SimTime now) const;
 
@@ -328,6 +342,22 @@ class MemoryManager
     /** Recycled page-table slots (freed pages). */
     std::vector<PageIdx> freeSlots_;
     std::vector<std::unique_ptr<MemCg>> memcgs_;
+    /**
+     * Cgroup -> memcg index, filled at attach time: memcgOf() and the
+     * page hot paths are O(1) lookups instead of linear scans of
+     * memcgs_.
+     */
+    std::unordered_map<const cgroup::Cgroup *, std::uint16_t> indexOf_;
+    /**
+     * For every cgroup on the path from an attached memcg to the
+     * root: the attached memcg indices inside that cgroup's subtree,
+     * in attach order. Lets reclaim()/info() enumerate a subtree
+     * directly instead of testing every memcg for ancestry. Attach
+     * order equals memcgs_ index order, so proportional reclaim
+     * visits targets exactly as the historical linear scan did.
+     */
+    std::unordered_map<const cgroup::Cgroup *, std::vector<std::uint16_t>>
+        subtree_;
     std::vector<backend::OffloadBackend *> backends_;
     obs::TraceRing *trace_ = nullptr;
     std::uint64_t residentPages_ = 0;

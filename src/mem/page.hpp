@@ -76,13 +76,21 @@ lruIsActive(LruKind kind)
 }
 
 /**
- * One logical page. Kept small (48 bytes) because hosts hold hundreds
+ * One logical page. Kept small (56 bytes) because hosts hold hundreds
  * of thousands of them.
  */
 struct Page {
     /** LRU linkage (indices into the host page array). */
     PageIdx prev = NO_PAGE;
     PageIdx next = NO_PAGE;
+    /**
+     * Age-list linkage: every live page of a cgroup sits on one
+     * intrusive list ordered by lastAccess (most recent first), so the
+     * idle-age breakdown walks only the warm prefix instead of the
+     * whole page table (incremental working-set accounting).
+     */
+    PageIdx agePrev = NO_PAGE;
+    PageIdx ageNext = NO_PAGE;
     /** Owning memory-cgroup id (index into the manager's table). */
     std::uint16_t memcg = 0;
     std::uint8_t flags = 0;

@@ -153,9 +153,21 @@ MemoryManager::shrinkMemCg(MemCg &mcg, std::uint64_t target_bytes,
 
     auto evict_file = [&](PageIdx idx, Page &page) -> bool {
         // Dirty pages need writeback first (compressibility < 0 flags
-        // writeback to the filesystem backend).
+        // writeback to the filesystem backend). A failed or erroring
+        // device rejects the writeback: the page must then stay dirty
+        // AND resident — dropping it would lose the only up-to-date
+        // copy (§4 graceful degradation, mirroring the anon path).
         if (page.flags & PG_DIRTY) {
-            mcg.fileBackend->store(config_.pageBytes, -1.0, now);
+            const auto wb =
+                mcg.fileBackend->store(config_.pageBytes, -1.0, now);
+            if (!wb.accepted) {
+                ++mcg.storeRejects;
+                // Rotate to the active list so the next scan batch
+                // does not spin on the same unwritable page.
+                mcg.lru.detach(pages_, idx);
+                mcg.lru.attachHead(pages_, idx, LruKind::ACTIVE_FILE);
+                return false;
+            }
             page.flags &= ~PG_DIRTY;
         }
         mcg.lru.detach(pages_, idx);
@@ -223,6 +235,13 @@ MemoryManager::shrinkMemCg(MemCg &mcg, std::uint64_t target_bytes,
                         const PageIdx victim = active.tail();
                         Page &vpage = pages_[victim];
                         vpage.flags &= ~PG_REFERENCED;
+                        // The victim is examined and evicted like any
+                        // scanned page: it must count towards the
+                        // scan totals, or max_scan and the
+                        // reclaimUsPerPage CPU model undercount the
+                        // work actually done.
+                        ++outcome.scannedPages;
+                        ++mcg.cg->stats().pgscan;
                         ++mcg.cg->stats().pgdeactivate;
                         const bool vok =
                             vpage.isAnon() ? evict_anon(victim, vpage)

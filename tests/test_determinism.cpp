@@ -8,8 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
+#include "backend/filesystem.hpp"
+#include "backend/ssd.hpp"
+#include "backend/zswap.hpp"
 #include "core/senpai.hpp"
 #include "host/host.hpp"
+#include "mem/memory_manager.hpp"
 #include "workload/app_profile.hpp"
 
 using namespace tmo;
@@ -97,6 +104,55 @@ TEST(DeterminismTest, DifferentSeedsDiverge)
     const auto b = run(2, host::AnonMode::ZSWAP);
     // Same physics, different noise: digests must not be identical.
     EXPECT_FALSE(a == b);
+}
+
+TEST(DeterminismTest, SubtreeReclaimOrderIsStableAcrossInstances)
+{
+    // The memcg index maps (hash tables keyed by pointer) must never
+    // influence observable ordering: two independently constructed
+    // managers — whose cgroup addresses differ — fed the same
+    // operation sequence must produce identical counters.
+    auto episode = [] {
+        cgroup::CgroupTree tree;
+        backend::SsdDevice ssd(backend::ssdSpecForClass('C'), 1);
+        backend::FilesystemBackend fs(ssd);
+        backend::ZswapPool zswap({}, 2);
+        mem::MemoryConfig config;
+        config.ramBytes = 256ull << 20;
+        config.pageBytes = 64 * 1024;
+        mem::MemoryManager mm(config, 5);
+        auto &parent = tree.create("root");
+        std::vector<cgroup::Cgroup *> cgs;
+        std::vector<mem::PageIdx> pages;
+        for (int c = 0; c < 24; ++c) {
+            cgs.push_back(
+                &tree.create("c" + std::to_string(c), &parent));
+            mm.attach(*cgs.back(), &zswap, &fs, 3.0);
+            for (int i = 0; i < 20; ++i)
+                pages.push_back(
+                    mm.newPage(*cgs.back(), i % 2 == 0, true, 0));
+        }
+        sim::Rng rng(99);
+        std::vector<std::uint64_t> digest;
+        for (int round = 0; round < 12; ++round) {
+            const auto now =
+                static_cast<sim::SimTime>(round + 1) * sim::SEC;
+            for (int i = 0; i < 64; ++i)
+                mm.access(pages[rng.uniformInt(pages.size())], now);
+            const auto outcome =
+                mm.reclaim(parent, (24 + round) * 64 * 1024, now);
+            digest.push_back(outcome.reclaimedBytes);
+            digest.push_back(outcome.scannedPages);
+        }
+        for (const auto *child : cgs) {
+            digest.push_back(child->stats().pgscan);
+            digest.push_back(child->stats().pgsteal);
+            digest.push_back(child->stats().pswpout);
+            digest.push_back(child->memCurrent());
+        }
+        return digest;
+    };
+    EXPECT_EQ(episode(), episode());
 }
 
 TEST(DeterminismTest, PairedTiersStayComparable)

@@ -323,3 +323,74 @@ TEST_F(MemoryManagerTest, DoubleAttachRejected)
     mm.attach(*cg, &swap, &fs);
     EXPECT_THROW(mm.attach(*cg, &zswap, &fs), std::invalid_argument);
 }
+
+TEST_F(MemoryManagerTest, AttachIndexMatchesAttachOrder)
+{
+    // The cached index is the contract between Page::memcg, the
+    // Cgroup->index map, and the subtree enumeration order: it must
+    // equal the attach position, for every cgroup, at any tree depth.
+    auto &parent = tree.create("parent");
+    std::vector<cgroup::Cgroup *> cgs;
+    for (int g = 0; g < 3; ++g) {
+        auto &mid = tree.create("g" + std::to_string(g), &parent);
+        cgs.push_back(&mid);
+        mm.attach(mid, &swap, &fs);
+        for (int i = 0; i < 7; ++i) {
+            cgs.push_back(
+                &tree.create("n" + std::to_string(i), &mid));
+            mm.attach(*cgs.back(), &swap, &fs);
+        }
+    }
+    for (std::size_t i = 0; i < cgs.size(); ++i) {
+        const auto &mcg = mm.memcgOf(*cgs[i]);
+        EXPECT_EQ(mcg.index, i);
+        EXPECT_EQ(mcg.cg, cgs[i]);
+        // Pages inherit the same slot.
+        const auto idx = mm.newPage(*cgs[i], true, true, 0);
+        EXPECT_EQ(mm.pages()[idx].memcg, i);
+    }
+}
+
+TEST_F(MemoryManagerTest, IdleBreakdownMatchesBruteForceRecount)
+{
+    // The incremental age list must agree with a brute-force recount
+    // over every live page, under a deliberately messy history:
+    // out-of-order access times, offloaded pages, and frees.
+    mm.attach(*cg, &zswap, &fs, 4.0);
+    std::vector<mem::PageIdx> live;
+    sim::Rng rng(11);
+    const auto now = 20 * sim::MINUTE;
+    for (int i = 0; i < 200; ++i)
+        live.push_back(mm.newPage(*cg, i % 2 == 0, true, 0));
+    for (int round = 0; round < 400; ++round) {
+        const auto pick = live[rng.uniformInt(live.size())];
+        // Access times jump around within [0, 20min] — NOT monotone.
+        mm.access(pick, static_cast<sim::SimTime>(rng.uniformInt(
+                            static_cast<std::uint64_t>(now))));
+    }
+    mm.reclaim(*cg, 40 * PAGE, now); // some pages offloaded/evicted
+    for (int i = 0; i < 30; ++i) {
+        const auto victim = rng.uniformInt(live.size());
+        mm.freePage(live[victim]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+
+    std::uint64_t used1 = 0, used2 = 0, used5 = 0;
+    for (const auto idx : live) {
+        const auto age = now - mm.pages()[idx].lastAccess;
+        if (age <= 1 * sim::MINUTE)
+            ++used1;
+        else if (age <= 2 * sim::MINUTE)
+            ++used2;
+        else if (age <= 5 * sim::MINUTE)
+            ++used5;
+    }
+    const auto t = static_cast<double>(live.size());
+    const auto breakdown = mm.idleBreakdown(*cg, now);
+    EXPECT_NEAR(breakdown.used1min, static_cast<double>(used1) / t, 1e-12);
+    EXPECT_NEAR(breakdown.used2min, static_cast<double>(used2) / t, 1e-12);
+    EXPECT_NEAR(breakdown.used5min, static_cast<double>(used5) / t, 1e-12);
+    EXPECT_NEAR(breakdown.cold,
+                1.0 - static_cast<double>(used1 + used2 + used5) / t,
+                1e-12);
+}

@@ -239,6 +239,106 @@ TEST_F(ReclaimTest, DirtyFilePagesWriteBack)
     EXPECT_GT(ssd.bytesWritten(), written_before);
 }
 
+TEST_F(ReclaimTest, SubtreeResidualReclaimsRequestedTotal)
+{
+    // Regression: proportional distribution used to round every
+    // per-child share down to whole pages and drop the residual, so a
+    // request spread over many small cgroups reclaimed far less than
+    // asked (16 children x 0.625 pages each -> 0 pages). The carry
+    // accumulator must deliver the exact requested total.
+    mem::MemoryConfig config;
+    config.ramBytes = 256ull << 20;
+    config.pageBytes = PAGE;
+    config.lruMisagingRate = 0.0; // exact page accounting
+    mm = std::make_unique<mem::MemoryManager>(config, 7);
+    auto &parent = tree.create("parent");
+    std::vector<cgroup::Cgroup *> children;
+    for (int c = 0; c < 16; ++c) {
+        children.push_back(
+            &tree.create("c" + std::to_string(c), &parent));
+        mm->attach(*children.back(), &swap, &fs);
+        for (int i = 0; i < 3; ++i)
+            mm->newPage(*children.back(), false, true, 0);
+    }
+    const auto outcome = mm->reclaim(parent, 10 * PAGE, sim::SEC);
+    EXPECT_EQ(outcome.reclaimedBytes, 10ull * PAGE);
+    // The work was spread across the subtree, not taken from one child.
+    int contributors = 0;
+    for (const auto *child : children)
+        contributors += child->stats().pgsteal > 0 ? 1 : 0;
+    EXPECT_GE(contributors, 8);
+}
+
+TEST_F(ReclaimTest, DirtyWritebackRejectionKeepsPageDirtyResident)
+{
+    // Regression: a failed writeback device used to be ignored — the
+    // dirty page was dropped as if cleaned, losing the only up-to-date
+    // copy. Rejection must keep the page dirty AND resident (§4).
+    makeManager(mem::ReclaimMode::TMO_BALANCED);
+    std::vector<mem::PageIdx> file;
+    populate(8, nullptr, &file);
+    for (const auto idx : file)
+        mm->pages()[idx].flags |= mem::PG_DIRTY;
+    // Offline SSD: swap reports FAILED (anon side blocked entirely)
+    // and every file writeback is rejected.
+    ssd.setOffline(true);
+    const auto written_before = ssd.bytesWritten();
+    const auto outcome = mm->reclaim(*cg, 8 * PAGE, sim::SEC);
+    ssd.setOffline(false);
+
+    // No file page may have been stolen; every one is still resident,
+    // still dirty, and parked on the active list.
+    EXPECT_EQ(cg->stats().pgfilesteal, 0u);
+    EXPECT_EQ(ssd.bytesWritten(), written_before);
+    EXPECT_GT(mm->memcgOf(*cg).storeRejects, 0u);
+    for (const auto idx : file) {
+        const auto &page = mm->pages()[idx];
+        EXPECT_EQ(page.where, mem::Where::RAM);
+        EXPECT_TRUE(page.flags & mem::PG_DIRTY);
+        EXPECT_EQ(page.lru, mem::LruKind::ACTIVE_FILE);
+    }
+    EXPECT_EQ(mm->info(*cg).fileBytes, 8ull * PAGE);
+    (void)outcome;
+}
+
+TEST_F(ReclaimTest, MisAgingVictimsCountTowardScanTotals)
+{
+    // Regression: mis-aging victim evictions were invisible to the
+    // scan counters, so pgscan undercounted the work done and the
+    // reclaim CPU model undercharged. With the rate forced to 1.0 the
+    // whole pass is hand-computable: each primary eviction pulls one
+    // victim off the active tail, and both must count as scans.
+    mem::MemoryConfig config;
+    config.ramBytes = 256ull << 20;
+    config.pageBytes = PAGE;
+    config.lruMisagingRate = 1.0;
+    config.inactiveRatio = 0.0; // no demotion noise during the pass
+    mm = std::make_unique<mem::MemoryManager>(config, 7);
+    cg = &tree.create("misaging");
+    mm->attach(*cg, &swap, &fs);
+    std::vector<mem::PageIdx> inactive, active;
+    for (int i = 0; i < 8; ++i) {
+        inactive.push_back(mm->newPage(*cg, false, true, 0));
+        active.push_back(mm->newPage(*cg, false, true, 0));
+    }
+    for (const auto idx : active) {
+        mm->access(idx, sim::SEC);     // referenced
+        mm->access(idx, 2 * sim::SEC); // activated
+    }
+    const auto outcome = mm->reclaim(*cg, 4 * PAGE, 3 * sim::SEC);
+
+    // 2 primary evictions + 2 victims = 4 pages, 4 scans.
+    EXPECT_EQ(outcome.reclaimedBytes, 4ull * PAGE);
+    EXPECT_EQ(outcome.scannedPages, 4u);
+    EXPECT_EQ(outcome.filePages, 4u);
+    EXPECT_EQ(cg->stats().pgscan, 4u);
+    EXPECT_EQ(cg->stats().pgsteal, 4u);
+    EXPECT_EQ(cg->stats().pgdeactivate, 2u);
+    // The CPU model charges for all four scanned pages.
+    EXPECT_EQ(outcome.cpuTime,
+              sim::fromUsec(4 * config.reclaimUsPerPage));
+}
+
 TEST_F(ReclaimTest, BalanceShiftsWithRelativeCost)
 {
     makeManager(mem::ReclaimMode::TMO_BALANCED);

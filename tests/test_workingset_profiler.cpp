@@ -59,6 +59,41 @@ TEST(WorkingsetProfilerTest, SamplesResidentAndPressure)
     EXPECT_EQ(profiler.residentSeries().size(), n);
 }
 
+TEST(WorkingsetProfilerTest, ColdSeriesSampledWhenMemoryAttached)
+{
+    // With the memory manager attached, each poll also records the
+    // idle-age cold fraction (Fig. 2) — served from the per-memcg age
+    // list, so polling it every interval is affordable.
+    sim::Simulation simulation;
+    host::Host machine(simulation, hostConfig());
+    auto &app = machine.addApp(
+        workload::appPreset("analytics", 1ull << 30), // 56% cold
+        host::AnonMode::ZSWAP);
+    machine.start();
+    app.start();
+    core::WorkingsetProfiler profiler(simulation, app.cgroup());
+    profiler.attachMemory(&machine.memory());
+    profiler.start();
+    simulation.runUntil(10 * sim::MINUTE);
+
+    ASSERT_EQ(profiler.coldSeries().size(),
+              profiler.residentSeries().size());
+    ASSERT_GE(profiler.coldSeries().size(), 8u);
+    for (const auto &sample : profiler.coldSeries().samples()) {
+        EXPECT_GE(sample.value, 0.0);
+        EXPECT_LE(sample.value, 1.0);
+    }
+    // An analytics-shaped workload leaves a visible cold tail once the
+    // 5-minute horizon has elapsed.
+    EXPECT_GT(profiler.coldSeries().last(), 0.2);
+
+    // Without attachMemory the series stays empty (old behaviour).
+    core::WorkingsetProfiler bare(simulation, app.cgroup());
+    bare.start();
+    simulation.runUntil(12 * sim::MINUTE);
+    EXPECT_TRUE(bare.coldSeries().empty());
+}
+
 TEST(WorkingsetProfilerTest, RevealsOverprovisioningUnderSenpai)
 {
     // The §3.3 claim: probing with Senpai exposes how much smaller

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Tolerance-gated comparison of two bench_runner reports.
+
+Usage:
+    bench_check.py CURRENT.json BASELINE.json [--tolerance 0.25]
+
+Exit codes:
+    0  no metric regressed beyond the tolerance
+    1  at least one regression (or schema mismatch)
+    2  bad invocation / unreadable file
+
+A metric regresses when it moves in its "better"-is-worse direction by
+more than ``tolerance`` relative to the baseline value:
+
+    better=lower  : current > baseline * (1 + tolerance)
+    better=higher : current < baseline * (1 - tolerance)
+
+Metrics present in only one report are reported but never fatal (new
+benches may land before the baseline is refreshed); the deterministic
+"checks" section is compared for information only, since it is pinned
+by the unit-test suite, not by this gate.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as fh:
+            report = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"bench_check: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    if report.get("schema") != "tmo-bench/1":
+        print(f"bench_check: {path}: unknown schema "
+              f"{report.get('schema')!r}", file=sys.stderr)
+        sys.exit(1)
+    return report
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative regression (default 0.25)")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+    cur_metrics = current.get("metrics", {})
+    base_metrics = baseline.get("metrics", {})
+
+    if current.get("scale") != baseline.get("scale"):
+        print(f"bench_check: scale mismatch: current "
+              f"{current.get('scale')!r} vs baseline "
+              f"{baseline.get('scale')!r} — comparison would be "
+              f"meaningless", file=sys.stderr)
+        sys.exit(1)
+
+    failures = []
+    print(f"{'metric':44} {'baseline':>14} {'current':>14} "
+          f"{'delta':>8}  verdict")
+    for name in sorted(set(cur_metrics) | set(base_metrics)):
+        cur = cur_metrics.get(name)
+        base = base_metrics.get(name)
+        if cur is None or base is None:
+            which = "baseline" if cur is None else "current"
+            print(f"{name:44} {'—':>14} {'—':>14} {'—':>8}  "
+                  f"only in {which} (ignored)")
+            continue
+        cv, bv = cur["value"], base["value"]
+        better = cur.get("better", "lower")
+        if bv == 0:
+            delta = 0.0
+        else:
+            delta = (cv - bv) / abs(bv)
+        if better == "lower":
+            bad = bv != 0 and cv > bv * (1.0 + args.tolerance)
+        else:
+            bad = bv != 0 and cv < bv * (1.0 - args.tolerance)
+        verdict = "REGRESSED" if bad else "ok"
+        print(f"{name:44} {bv:14.4g} {cv:14.4g} {delta:+7.1%}  "
+              f"{verdict}")
+        if bad:
+            failures.append(name)
+
+    cur_checks = current.get("checks", {})
+    base_checks = baseline.get("checks", {})
+    for name in sorted(set(cur_checks) & set(base_checks)):
+        if cur_checks[name] != base_checks[name]:
+            print(f"note: check {name!r} drifted: "
+                  f"{base_checks[name]} -> {cur_checks[name]} "
+                  f"(informational; pinned by the test suite)")
+
+    if failures:
+        print(f"bench_check: {len(failures)} regression(s) beyond "
+              f"{args.tolerance:.0%}: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print(f"bench_check: all metrics within {args.tolerance:.0%} of "
+          f"baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
