@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "backend/filesystem.hpp"
+#include "backend/nvm.hpp"
 #include "backend/ssd.hpp"
 #include "backend/zswap.hpp"
 #include "cgroup/cgroup.hpp"
@@ -54,6 +55,8 @@
 #include "mem/memory_manager.hpp"
 #include "psi/psi.hpp"
 #include "sim/rng.hpp"
+#include "tier/tier_chain.hpp"
+#include "tier/tier_spec.hpp"
 #include "workload/app_profile.hpp"
 
 using namespace tmo;
@@ -328,6 +331,126 @@ runMicroSuites(Report &report, std::size_t n_cg, std::size_t n_pages)
 }
 
 /**
+ * Tier-chain hot paths: placement arithmetic (runs per evicted page),
+ * the fall-through store/release round trip, and the budgeted
+ * background maintenance pass (demotion throughput at Senpai cadence).
+ * The demoted-page count is a cross-machine determinism anchor.
+ */
+void
+runTierChainBench(Report &report)
+{
+    // --- placement: decayedHeat + placementIndex per eviction --------
+    {
+        auto zc = backend::ZswapConfig{};
+        zc.simulatedPageBytes = PAGE;
+        backend::ZswapPool warm(zc, 2);
+        auto mid_spec = backend::nvmSpecPreset("cxl-dram");
+        mid_spec.simulatedPageBytes = PAGE;
+        mid_spec.capacityBytes = 8ull << 30;
+        backend::NvmBackend mid(mid_spec);
+        auto cold_spec = backend::nvmSpecPreset("optane");
+        cold_spec.simulatedPageBytes = PAGE;
+        cold_spec.capacityBytes = 8ull << 30;
+        backend::NvmBackend cold(cold_spec);
+        tier::TierChain chain("bench", {&warm, &mid, &cold},
+                              tier::TierChainConfig{});
+
+        {
+            std::vector<mem::Page> heat_pages(4096);
+            for (std::size_t i = 0; i < heat_pages.size(); ++i) {
+                heat_pages[i].heat = static_cast<std::uint8_t>(i % 11);
+                heat_pages[i].heatEpoch =
+                    static_cast<std::uint8_t>(i % 5);
+            }
+            const std::size_t iters = 4'000'000;
+            std::uint64_t sink = 0;
+            const double ns = medianNs(3, [&] {
+                for (std::size_t i = 0; i < iters; ++i) {
+                    const auto &page =
+                        heat_pages[i % heat_pages.size()];
+                    const auto epoch =
+                        static_cast<std::uint8_t>(i % 7);
+                    sink += static_cast<std::uint64_t>(
+                        chain.placementIndex(
+                            mem::decayedHeat(page, epoch), false));
+                }
+            });
+            g_sink = static_cast<double>(sink);
+            report.metrics["tier_placement_ns_per_op"] =
+                {ns / static_cast<double>(iters), "ns/op", "lower"};
+        }
+
+        // --- store: fall-through round trip over three tiers ---------
+        {
+            const std::size_t iters = 50'000;
+            std::vector<std::pair<backend::OffloadBackend *,
+                                  std::uint64_t>>
+                stored;
+            stored.reserve(iters);
+            const double ns = medianNs(3, [&] {
+                stored.clear();
+                sim::SimTime now = 0;
+                for (std::size_t i = 0; i < iters; ++i) {
+                    now += 1000;
+                    const auto outcome = chain.storeFrom(
+                        i % chain.size(), PAGE, 3.0, now);
+                    if (outcome.result.accepted)
+                        stored.emplace_back(
+                            outcome.tier,
+                            outcome.result.storedBytes);
+                }
+                for (const auto &[tier, bytes] : stored)
+                    tier->release(bytes);
+            });
+            report.metrics["tier_store_ns_per_op"] =
+                {ns / static_cast<double>(iters), "ns/op", "lower"};
+        }
+    }
+
+    // --- maintenance: demotion throughput under the move budget ------
+    {
+        sim::Simulation simulation;
+        host::HostConfig config;
+        config.mem.ramBytes = 1ull << 30;
+        config.mem.pageBytes = PAGE;
+        config.seed = 42;
+        host::Host machine(simulation, config);
+        auto &app = machine.addApp(
+            workload::appPreset("feed", 512ull << 20),
+            tier::TierChainSpec::parse("zswap+ssd"));
+        machine.start();
+        app.start();
+        simulation.runUntil(5 * sim::SEC);
+
+        // Evict hot: everything lands in the warm tier, then cools.
+        const auto epoch = mem::heatEpochAt(
+            simulation.now(),
+            machine.memory().config().heatDecayPeriod);
+        for (auto &page : machine.memory().pages()) {
+            page.heat = 7;
+            page.heatEpoch = epoch;
+        }
+        machine.memory().reclaim(app.cgroup(), 200ull << 20,
+                                 simulation.now());
+
+        const auto later = simulation.now() + 10 * 30 * sim::SEC;
+        std::uint64_t demoted = 0;
+        const double ns = medianNs(1, [&] {
+            for (int pass = 0; pass < 40; ++pass)
+                demoted += machine.memory()
+                               .tierMaintain(app.cgroup(), later)
+                               .demotedPages;
+        });
+        report.metrics["tier_maintain_pages_per_sec"] =
+            {demoted ? static_cast<double>(demoted) / (ns / 1e9)
+                     : 0.0,
+             "pages/s", "higher"};
+        report.checks["tier_maintain_demoted"] =
+            static_cast<double>(demoted);
+    }
+}
+
+/**
  * Representative fig-style workload: one host, feed preset, Senpai
  * probing, working-set profiler polling coldness — the §4.1-shaped
  * single-host experiment all fig benches build on. Fixed seed; the
@@ -464,6 +587,7 @@ main(int argc, char **argv)
               << " sha=" << report.sha << "\n";
 
     runMicroSuites(report, report.cgroups, report.pages);
+    runTierChainBench(report);
     runFigWorkload(report, quick ? 3 : 10);
     report.metrics["peak_rss_mb"] =
         {peakRssBytes() / (1024.0 * 1024.0), "MiB", "lower"};

@@ -48,6 +48,8 @@ struct VmStats {
     std::uint64_t wsActivate = 0;    ///< workingset_activate
     std::uint64_t zswpout = 0;      ///< pages stored into zswap
     std::uint64_t zswpin = 0;       ///< pages loaded from zswap
+    std::uint64_t tierDemote = 0;   ///< pages moved down the tier chain
+    std::uint64_t tierPromote = 0;  ///< pages moved up the tier chain
 };
 
 /**

@@ -85,13 +85,13 @@ Senpai::registerMetrics(obs::MetricRegistry &registry)
 backend::BackendStatus
 Senpai::backendStatus() const
 {
+    // A TierChain aliases anonBackend, so its aggregate status (worst
+    // impairment; FAILED only when every tier is out) flows through
+    // the same read the raw-backend path uses.
     const auto &mcg = mm_.memcgOf(*cg_);
     auto status = backend::BackendStatus::HEALTHY;
     if (mcg.anonBackend)
         status = backend::worseStatus(status, mcg.anonBackend->status());
-    if (mcg.anonColdBackend)
-        status = backend::worseStatus(status,
-                                      mcg.anonColdBackend->status());
     return status;
 }
 

@@ -27,15 +27,31 @@ mib(double value)
 backend::BackendStatus
 hostBackendStatus(host::Host &machine)
 {
-    return backend::worseStatus(machine.swap().status(),
-                                machine.zswap().status());
+    auto status = backend::worseStatus(machine.swap().status(),
+                                       machine.zswap().status());
+    // Chains fold in offline tiers and dedicated (capped) pools the
+    // host singletons above do not cover.
+    for (const tier::TierChain *chain : machine.chains())
+        status = backend::worseStatus(status, chain->status());
+    return status;
 }
 
 std::uint64_t
 hostDegradationEvents(host::Host &machine)
 {
-    return machine.swap().storeErrors() + machine.swap().loadErrors() +
-           machine.zswap().rejectedPages();
+    std::uint64_t events = machine.swap().storeErrors() +
+                           machine.swap().loadErrors() +
+                           machine.zswap().rejectedPages();
+    // Dedicated per-chain pools reject independently of the host
+    // singleton; each owned pool lives in exactly one chain, so this
+    // never double-counts.
+    for (tier::TierChain *chain : machine.chains())
+        for (std::size_t i = 0; i < chain->size(); ++i)
+            if (auto *pool = dynamic_cast<backend::ZswapPool *>(
+                    chain->tier(i)))
+                if (pool != &machine.zswap())
+                    events += pool->rejectedPages();
+    return events;
 }
 
 FaultInjector::FaultInjector(host::Host &machine, FaultPlan plan)
@@ -63,8 +79,10 @@ FaultInjector::apply(const FaultEvent &event)
 
     auto &sim = host_.simulation();
     if (auto *ring = host_.trace()) {
-        // SSD_ONLINE is the one plan event that undoes a fault.
-        const auto type = event.kind == FaultKind::SSD_ONLINE
+        // SSD_ONLINE / TIER_ONLINE are the plan events that undo a
+        // fault.
+        const auto type = event.kind == FaultKind::SSD_ONLINE ||
+                                  event.kind == FaultKind::TIER_ONLINE
                               ? obs::TraceEventType::FAULT_RECOVER
                               : obs::TraceEventType::FAULT_INJECT;
         ring->record(sim.now(), type,
@@ -130,6 +148,18 @@ FaultInjector::apply(const FaultEvent &event)
         const std::uint64_t cap = host_.memory().ramCapacity();
         const std::uint64_t loss = mib(event.arg);
         host_.memory().setRamBytes(cap > loss ? cap - loss : 0);
+        break;
+      }
+      case FaultKind::TIER_OFFLINE:
+      case FaultKind::TIER_ONLINE: {
+        // Applied to every chain on the host: the plan names a tier
+        // position, not a specific container's chain.
+        const auto index =
+            static_cast<std::size_t>(std::max(0.0, event.arg));
+        const bool offline = event.kind == FaultKind::TIER_OFFLINE;
+        for (tier::TierChain *chain : host_.chains())
+            if (index < chain->size())
+                chain->setTierOffline(index, offline);
         break;
       }
     }

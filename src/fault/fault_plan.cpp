@@ -30,6 +30,8 @@ constexpr KindName KIND_NAMES[] = {
     {FaultKind::CONTROLLER_STALL, "controller-stall"},
     {FaultKind::CONTROLLER_CRASH, "controller-crash"},
     {FaultKind::RAM_SHRINK, "ram-shrink"},
+    {FaultKind::TIER_OFFLINE, "tier-offline"},
+    {FaultKind::TIER_ONLINE, "tier-online"},
 };
 
 static_assert(sizeof(KIND_NAMES) / sizeof(KIND_NAMES[0]) ==
@@ -170,7 +172,11 @@ FaultPlan::random(std::uint64_t seed, sim::SimTime duration)
         // (partial) recovery are both observable.
         event.at = static_cast<sim::SimTime>(
             rng.uniform(0.1, 0.9) * static_cast<double>(duration));
-        switch (rng.uniformInt(NUM_FAULT_KINDS)) {
+        // Random plans draw from the original 11 kinds only: tier
+        // faults are meaningless for hosts without chains, and the
+        // fixed draw keeps seeded chaos plans reproducible across
+        // vocabulary growth.
+        switch (rng.uniformInt(11)) {
           case 0:
             event.kind = FaultKind::SSD_LATENCY;
             event.arg = rng.uniform(2.0, 20.0);

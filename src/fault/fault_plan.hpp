@@ -57,10 +57,16 @@ enum class FaultKind {
     /** Remove arg MiB of host DRAM (ballooning / bank offlining);
      *  kswapd recovers the deficit. */
     RAM_SHRINK,
+    /** Take tier arg (index) of every tier chain on the host offline:
+     *  placement and fall-through skip it, its status reads FAILED
+     *  into the chain aggregate, pages already stored there stay. */
+    TIER_OFFLINE,
+    /** Bring tier arg (index) of every tier chain back online. */
+    TIER_ONLINE,
 };
 
 /** Number of fault kinds (for counters indexed by kind). */
-inline constexpr std::size_t NUM_FAULT_KINDS = 11;
+inline constexpr std::size_t NUM_FAULT_KINDS = 13;
 
 /** Spec name of a kind ("ssd-latency", "swap-exhaust", ...). */
 const char *faultKindName(FaultKind kind);

@@ -38,7 +38,9 @@ Fleet::addHost(const HostBuilder &builder)
             : builder.hostName();
     shard.host = std::make_unique<Host>(*shard.sim, config, name);
     for (auto &spec : builder.resolvedApps()) {
-        auto &app = shard.host->addApp(spec.profile, spec.mode);
+        auto &app = spec.useTiers
+                        ? shard.host->addApp(spec.profile, spec.tiers)
+                        : shard.host->addApp(spec.profile, spec.mode);
         app.cgroup().setPriority(spec.priority);
     }
     if (builder.controllerFactory())

@@ -20,8 +20,11 @@ HostBuilder::workload(const std::string &preset,
         // same fallback).
         profile = workload::sidecarPreset(preset, footprint_mb << 20);
     }
-    apps_.push_back(AppSpec{std::move(profile), defaultMode_,
-                            cgroup::Priority::NORMAL, true});
+    AppSpec spec;
+    spec.profile = std::move(profile);
+    spec.mode = defaultMode_;
+    spec.useDefaultMode = true;
+    apps_.push_back(std::move(spec));
     return *this;
 }
 
@@ -36,9 +39,16 @@ std::vector<AppSpec>
 HostBuilder::resolvedApps() const
 {
     std::vector<AppSpec> apps = apps_;
-    for (auto &app : apps)
-        if (app.useDefaultMode)
+    for (auto &app : apps) {
+        if (!app.useDefaultMode)
+            continue;
+        if (useDefaultTiers_) {
+            app.tiers = defaultTiers_;
+            app.useTiers = true;
+        } else {
             app.mode = defaultMode_;
+        }
+    }
     return apps;
 }
 

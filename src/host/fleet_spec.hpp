@@ -50,12 +50,17 @@ using ControllerFactory =
 /** Declarative description of one container on a host. */
 struct AppSpec {
     workload::AppProfile profile;
+    /** @deprecated Legacy backend selection; tiers wins when set. */
     AnonMode mode = AnonMode::ZSWAP;
     cgroup::Priority priority = cgroup::Priority::NORMAL;
     /** True when the spec should take the builder's default backend
-     *  (set via backend()), resolved at build time so fluent order
-     *  does not matter. */
+     *  (set via backend()/tiers()), resolved at build time so fluent
+     *  order does not matter. */
     bool useDefaultMode = false;
+    /** Tier chain for anon pages; consulted when useTiers is set. */
+    tier::TierChainSpec tiers;
+    /** True when tiers (not mode) describes the anon backend. */
+    bool useTiers = false;
 };
 
 /** Fluent description of a single host. */
@@ -137,12 +142,34 @@ class HostBuilder
 
     // --- containers ------------------------------------------------------
 
-    /** Default anon backend for workload()-declared apps. */
+    /** Default anon backend for workload()-declared apps.
+     *  @deprecated Use tiers() — an AnonMode is the shim for a one- or
+     *  two-tier chain (see shimChainSpec()). Calling backend() after
+     *  tiers() reverts the default to the legacy mode. */
     HostBuilder &
     backend(AnonMode mode)
     {
         defaultMode_ = mode;
+        useDefaultTiers_ = false;
         return *this;
+    }
+
+    /** Default tier chain for workload()-declared apps
+     *  (e.g. "zswap:256mb+ssd"; "none" disables anon offloading). */
+    HostBuilder &
+    tiers(const tier::TierChainSpec &spec)
+    {
+        defaultTiers_ = spec;
+        useDefaultTiers_ = true;
+        return *this;
+    }
+
+    /** tiers() from a spec string. Throws std::invalid_argument with
+     *  a named error on a malformed spec. */
+    HostBuilder &
+    tiers(const std::string &spec)
+    {
+        return tiers(tier::TierChainSpec::parse(spec));
     }
 
     /**
@@ -152,13 +179,31 @@ class HostBuilder
     HostBuilder &workload(const std::string &preset,
                           std::uint64_t footprint_mb = 1024);
 
-    /** Add a fully specified container. */
+    /** Add a fully specified container.
+     *  @deprecated Prefer the TierChainSpec overload. */
     HostBuilder &
     app(workload::AppProfile profile, AnonMode mode,
         cgroup::Priority priority = cgroup::Priority::NORMAL)
     {
-        apps_.push_back(
-            AppSpec{std::move(profile), mode, priority, false});
+        AppSpec spec;
+        spec.profile = std::move(profile);
+        spec.mode = mode;
+        spec.priority = priority;
+        apps_.push_back(std::move(spec));
+        return *this;
+    }
+
+    /** Add a fully specified container on a tier chain. */
+    HostBuilder &
+    app(workload::AppProfile profile, const tier::TierChainSpec &tiers,
+        cgroup::Priority priority = cgroup::Priority::NORMAL)
+    {
+        AppSpec spec;
+        spec.profile = std::move(profile);
+        spec.priority = priority;
+        spec.tiers = tiers;
+        spec.useTiers = true;
+        apps_.push_back(std::move(spec));
         return *this;
     }
 
@@ -195,6 +240,8 @@ class HostBuilder
     HostConfig config_{};
     std::string name_;
     AnonMode defaultMode_ = AnonMode::ZSWAP;
+    tier::TierChainSpec defaultTiers_;
+    bool useDefaultTiers_ = false;
     std::vector<AppSpec> apps_;
     ControllerFactory controller_;
 };
@@ -250,9 +297,12 @@ class FleetSpec
     FleetSpec &swap_bytes(std::uint64_t b) { proto_.swap_bytes(b); return *this; }
     FleetSpec &seed(std::uint64_t s) { proto_.seed(s); return *this; }
     FleetSpec &app_tick(sim::SimTime t) { proto_.app_tick(t); return *this; }
-    FleetSpec &backend(AnonMode mode) { proto_.backend(mode); return *this; }
+    FleetSpec &backend(AnonMode mode) { proto_.backend(mode); return *this; } ///< @deprecated see HostBuilder::backend
+    FleetSpec &tiers(const tier::TierChainSpec &spec) { proto_.tiers(spec); return *this; }
+    FleetSpec &tiers(const std::string &spec) { proto_.tiers(spec); return *this; }
     FleetSpec &workload(const std::string &preset, std::uint64_t footprint_mb = 1024) { proto_.workload(preset, footprint_mb); return *this; }
-    FleetSpec &app(workload::AppProfile profile, AnonMode mode, cgroup::Priority priority = cgroup::Priority::NORMAL) { proto_.app(std::move(profile), mode, priority); return *this; }
+    FleetSpec &app(workload::AppProfile profile, AnonMode mode, cgroup::Priority priority = cgroup::Priority::NORMAL) { proto_.app(std::move(profile), mode, priority); return *this; } ///< @deprecated see HostBuilder::app
+    FleetSpec &app(workload::AppProfile profile, const tier::TierChainSpec &t, cgroup::Priority priority = cgroup::Priority::NORMAL) { proto_.app(std::move(profile), t, priority); return *this; }
     FleetSpec &controller(ControllerFactory factory) { proto_.controller(std::move(factory)); return *this; }
     FleetSpec &controller(const std::string &name) { proto_.controller(name); return *this; }
     // clang-format on

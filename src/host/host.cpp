@@ -79,6 +79,9 @@ Host::enableTracing(std::size_t capacity_bytes)
     zswap_.setTrace(ring, obs::TRACK_ZSWAP);
     nvm_.setTrace(ring, obs::TRACK_NVM);
     fs_.setTrace(ring, obs::TRACK_FILESYSTEM);
+    // Dedicated tier pools (capped zswap) built before tracing was on.
+    for (const auto &be : tierBackends_)
+        be->setTrace(ring, obs::TRACK_ZSWAP);
     for (const auto &cg : tree_.all())
         cg->psi().setTrace(ring,
                            static_cast<std::uint16_t>(cg->id()));
@@ -126,6 +129,57 @@ Host::enableMetrics(sim::SimTime interval)
         metrics_->addProbe(prefix + "ws_refault", [cg] {
             return static_cast<double>(cg->stats().wsRefault);
         });
+        // Tier-chain observability: per-tier occupancy plus movement
+        // rates and inter-tier latency. The probes read through the
+        // memcg so they stay correct across setTiers() phase changes.
+        const mem::MemCg *m = &mm_.memcgOf(*cg);
+        const tier::TierChain *chain = m->anonChain;
+        // Legacy AnonMode shims are excluded so their metric output
+        // stays identical to pre-chain builds.
+        if (chain && chain->config().placement ==
+                         tier::TierPlacement::HOTNESS) {
+            for (std::size_t t = 0; t < chain->size(); ++t) {
+                const std::string tp =
+                    prefix + "tier." + std::to_string(t) + ".";
+                metrics_->addProbe(tp + "pages", [m, t] {
+                    return t < m->tierLists.size()
+                               ? static_cast<double>(
+                                     m->tierLists[t].size())
+                               : 0.0;
+                });
+                metrics_->addProbe(tp + "bytes", [m, t] {
+                    return t < m->tierBytes.size()
+                               ? static_cast<double>(m->tierBytes[t])
+                               : 0.0;
+                });
+            }
+            metrics_->addProbe(prefix + "tier.demoted", [cg] {
+                return static_cast<double>(cg->stats().tierDemote);
+            });
+            metrics_->addProbe(prefix + "tier.promoted", [cg] {
+                return static_cast<double>(cg->stats().tierPromote);
+            });
+            metrics_->addProbe(prefix + "tier.demote_p50_us", [m] {
+                return m->anonChain
+                           ? m->anonChain->demoteLatencyUs().p50()
+                           : 0.0;
+            });
+            metrics_->addProbe(prefix + "tier.demote_p99_us", [m] {
+                return m->anonChain
+                           ? m->anonChain->demoteLatencyUs().p99()
+                           : 0.0;
+            });
+            metrics_->addProbe(prefix + "tier.promote_p50_us", [m] {
+                return m->anonChain
+                           ? m->anonChain->promoteLatencyUs().p50()
+                           : 0.0;
+            });
+            metrics_->addProbe(prefix + "tier.promote_p99_us", [m] {
+                return m->anonChain
+                           ? m->anonChain->promoteLatencyUs().p99()
+                           : 0.0;
+            });
+        }
     }
     if (controller_)
         controller_->registerMetrics(*metrics_);
@@ -135,36 +189,132 @@ Host::enableMetrics(sim::SimTime interval)
     return *metrics_;
 }
 
-backend::OffloadBackend *
-Host::backendFor(AnonMode mode)
+tier::TierChainSpec
+shimChainSpec(AnonMode mode)
 {
     switch (mode) {
       case AnonMode::NONE:
-        return nullptr;
+        return {};
       case AnonMode::SWAP_SSD:
-        return &swap_;
+        return tier::TierChainSpec::parse("ssd");
       case AnonMode::ZSWAP:
-      case AnonMode::TIERED:
-        return &zswap_;
+        return tier::TierChainSpec::parse("zswap");
       case AnonMode::NVM:
-        return &nvm_;
+        return tier::TierChainSpec::parse("nvm");
+      case AnonMode::TIERED:
+        return tier::TierChainSpec::parse("zswap+ssd");
     }
-    return nullptr;
+    return {};
+}
+
+tier::TierChain *
+Host::buildChain(const tier::TierChainSpec &spec, bool legacy)
+{
+    if (spec.empty())
+        return nullptr;
+    std::vector<backend::OffloadBackend *> tiers;
+    for (std::size_t i = 0; i < spec.tiers.size(); ++i) {
+        const auto &tspec = spec.tiers[i];
+        switch (tspec.kind) {
+          case tier::TierKind::ZSWAP:
+            if (tspec.capBytes == 0) {
+                tiers.push_back(&zswap_);
+            } else {
+                // Dedicated capped pool: its own compression RNG and
+                // DRAM accounting, seeded per tier position so chains
+                // stay deterministic and distinct.
+                auto zconfig = zswapConfigFor(config_);
+                zconfig.maxPoolBytes = tspec.capBytes;
+                auto pool = std::make_unique<backend::ZswapPool>(
+                    zconfig,
+                    config_.seed ^ 0xaa ^ ((i + 1) * 0x5bd1u));
+                if (trace_)
+                    pool->setTrace(trace_.get(), obs::TRACK_ZSWAP);
+                tiers.push_back(pool.get());
+                tierBackends_.push_back(std::move(pool));
+            }
+            break;
+          case tier::TierKind::SSD:
+            tiers.push_back(&swap_);
+            break;
+          case tier::TierKind::NVM:
+            tiers.push_back(&nvm_);
+            break;
+        }
+    }
+    tier::TierChainConfig chain_config;
+    if (legacy) {
+        chain_config.placement = tier::TierPlacement::WORKINGSET;
+        chain_config.moveBudgetBytes = 0; // no background events
+    }
+    chains_.push_back(std::make_unique<tier::TierChain>(
+        spec.toString(), std::move(tiers), chain_config, spec.tiers));
+    return chains_.back().get();
+}
+
+std::vector<tier::TierChain *>
+Host::chains() const
+{
+    std::vector<tier::TierChain *> chains;
+    chains.reserve(chains_.size());
+    for (const auto &chain : chains_)
+        chains.push_back(chain.get());
+    return chains;
+}
+
+void
+Host::scheduleTierMaintenance(cgroup::Cgroup &cg,
+                              tier::TierChain *chain)
+{
+    if (!chain || chain->config().moveBudgetBytes == 0 ||
+        chain->size() < 2)
+        return;
+    for (const auto *scheduled : maintScheduled_)
+        if (scheduled == &cg)
+            return;
+    maintScheduled_.push_back(&cg);
+    // Legacy shims never reach here (budget 0), so AnonMode runs keep
+    // an event queue bit-identical to pre-chain builds.
+    sim_.every(chain->config().movePeriod, [this, &cg] {
+        mm_.tierMaintain(cg, sim_.now());
+        return true;
+    });
+}
+
+workload::AppModel &
+Host::addAppOnChain(const workload::AppProfile &profile,
+                    tier::TierChain *chain, cgroup::Cgroup *parent)
+{
+    cgroup::Cgroup &cg = createContainer(profile.name, parent);
+    if (chain) {
+        mm_.attachChain(cg, chain, &fs_, profile.compressibility);
+        scheduleTierMaintenance(cg, chain);
+    } else {
+        mm_.attach(cg, nullptr, &fs_, profile.compressibility);
+    }
+    apps_.push_back(std::make_unique<workload::AppModel>(
+        sim_, mm_, cg, profile, config_.cpus,
+        config_.seed ^ (apps_.size() + 1) * 0x9e37u, config_.appTick,
+        &cpu_));
+    return *apps_.back();
+}
+
+workload::AppModel &
+Host::addApp(const workload::AppProfile &profile,
+             const tier::TierChainSpec &tiers, cgroup::Cgroup *parent)
+{
+    return addAppOnChain(profile, buildChain(tiers, /*legacy=*/false),
+                         parent);
 }
 
 workload::AppModel &
 Host::addApp(const workload::AppProfile &profile, AnonMode mode,
              cgroup::Cgroup *parent)
 {
-    cgroup::Cgroup &cg = createContainer(profile.name, parent);
-    mm_.attach(cg, backendFor(mode), &fs_, profile.compressibility);
-    if (mode == AnonMode::TIERED)
-        mm_.setAnonTiering(cg, &zswap_, &swap_);
-    apps_.push_back(std::make_unique<workload::AppModel>(
-        sim_, mm_, cg, profile, config_.cpus,
-        config_.seed ^ (apps_.size() + 1) * 0x9e37u, config_.appTick,
-        &cpu_));
-    return *apps_.back();
+    return addAppOnChain(profile,
+                         buildChain(shimChainSpec(mode),
+                                    /*legacy=*/true),
+                         parent);
 }
 
 core::Controller *
@@ -183,12 +333,26 @@ Host::setController(std::unique_ptr<core::Controller> controller)
 }
 
 void
+Host::setTiers(cgroup::Cgroup &cg, const tier::TierChainSpec &tiers)
+{
+    tier::TierChain *chain = buildChain(tiers, /*legacy=*/false);
+    if (chain) {
+        mm_.setAnonChain(cg, chain);
+        scheduleTierMaintenance(cg, chain);
+    } else {
+        mm_.setAnonBackend(cg, nullptr);
+    }
+}
+
+void
 Host::setAnonMode(cgroup::Cgroup &cg, AnonMode mode)
 {
-    if (mode == AnonMode::TIERED)
-        mm_.setAnonTiering(cg, &zswap_, &swap_);
+    tier::TierChain *chain =
+        buildChain(shimChainSpec(mode), /*legacy=*/true);
+    if (chain)
+        mm_.setAnonChain(cg, chain);
     else
-        mm_.setAnonBackend(cg, backendFor(mode));
+        mm_.setAnonBackend(cg, nullptr);
 }
 
 } // namespace tmo::host

@@ -28,13 +28,23 @@
 #include "obs/trace.hpp"
 #include "sched/cpu_coordinator.hpp"
 #include "sim/simulation.hpp"
+#include "tier/tier_chain.hpp"
+#include "tier/tier_spec.hpp"
 #include "workload/app_model.hpp"
 #include "workload/app_profile.hpp"
 
 namespace tmo::host
 {
 
-/** Which offload backend a container's anon pages use. */
+/**
+ * Which offload backend a container's anon pages use.
+ *
+ * @deprecated Superseded by tier::TierChainSpec ("zswap:256mb+ssd"),
+ * which composes arbitrary chains; every AnonMode maps onto a one- or
+ * two-tier chain with the legacy placement policy (see
+ * shimChainSpec()), so existing call sites behave byte-identically.
+ * Prefer addApp(profile, TierChainSpec) / FleetSpec::tiers().
+ */
 enum class AnonMode {
     /** No swapping: file-cache-only reclaim (TMO's first deployment
      *  mode, §5.1). */
@@ -46,9 +56,13 @@ enum class AnonMode {
     /** Byte-addressable NVM / CXL memory (§2.5 outlook). */
     NVM,
     /** Two-tier hierarchy: zswap for warm pages, SSD swap for cold or
-     *  incompressible ones (§5.2 future work). */
+     *  incompressible ones (§5.2). Equivalent to the "zswap+ssd"
+     *  chain under the legacy working-set placement. */
     TIERED,
 };
+
+/** The tier chain an AnonMode shims onto ("none" for NONE). */
+tier::TierChainSpec shimChainSpec(AnonMode mode);
 
 /** Host hardware/software configuration. */
 struct HostConfig {
@@ -84,7 +98,25 @@ class Host
                                     cgroup::Cgroup *parent = nullptr);
 
     /**
+     * Create a container running the given workload on a composable
+     * tier chain (hotness-driven placement with budgeted background
+     * promotion/demotion). An empty spec means no anon offloading.
+     *
+     * @param profile Workload description.
+     * @param tiers Ordered tier chain, fastest first.
+     * @param parent Parent container.
+     */
+    workload::AppModel &addApp(const workload::AppProfile &profile,
+                               const tier::TierChainSpec &tiers,
+                               cgroup::Cgroup *parent = nullptr);
+
+    /**
      * Create a container running the given workload.
+     *
+     * @deprecated AnonMode shim: maps onto the equivalent one- or
+     * two-tier chain with the legacy placement policy and no
+     * background movement (byte-identical to pre-chain behaviour).
+     * Prefer the TierChainSpec overload.
      *
      * @param profile Workload description.
      * @param mode Anon offload backend selection.
@@ -94,7 +126,13 @@ class Host
                                AnonMode mode,
                                cgroup::Cgroup *parent = nullptr);
 
-    /** Switch a container's anon backend (Fig. 11 phase changes). */
+    /** Switch a container onto a tier chain (phase changes with
+     *  tiering). Pages offloaded under the old configuration stay in
+     *  their backend until faulted back. */
+    void setTiers(cgroup::Cgroup &cg, const tier::TierChainSpec &tiers);
+
+    /** Switch a container's anon backend (Fig. 11 phase changes).
+     *  @deprecated AnonMode shim of setTiers(); see addApp. */
     void setAnonMode(cgroup::Cgroup &cg, AnonMode mode);
 
     /**
@@ -147,6 +185,10 @@ class Host
     sched::CpuCoordinator &cpuCoordinator() { return cpu_; }
     backend::SwapBackend &swap() { return swap_; }
     backend::FilesystemBackend &filesystem() { return fs_; }
+
+    /** Every tier chain this host built (fault injection, reports). */
+    std::vector<tier::TierChain *> chains() const;
+
     const std::string &name() const { return name_; }
     const HostConfig &config() const { return config_; }
     const std::vector<std::unique_ptr<workload::AppModel>> &apps() const
@@ -155,7 +197,26 @@ class Host
     }
 
   private:
-    backend::OffloadBackend *backendFor(AnonMode mode);
+    /**
+     * Materialize a chain spec against this host's backends: plain
+     * "zswap"/"ssd"/"nvm" tiers use the shared host singletons (so
+     * fault injection and machine.zswap()-style introspection keep
+     * working), capped zswap tiers get a dedicated pool owned by the
+     * host. @p legacy selects the WORKINGSET placement with a zero
+     * movement budget (AnonMode shims).
+     */
+    tier::TierChain *buildChain(const tier::TierChainSpec &spec,
+                                bool legacy);
+
+    /** Attach chain + app bookkeeping shared by both addApp forms. */
+    workload::AppModel &addAppOnChain(const workload::AppProfile &profile,
+                                      tier::TierChain *chain,
+                                      cgroup::Cgroup *parent);
+
+    /** Schedule periodic tierMaintain for @p cg (once per cgroup,
+     *  only for chains with a movement budget). */
+    void scheduleTierMaintenance(cgroup::Cgroup &cg,
+                                 tier::TierChain *chain);
 
     sim::Simulation &sim_;
     HostConfig config_;
@@ -176,6 +237,13 @@ class Host
     std::unique_ptr<obs::MetricSampler> sampler_;
     std::vector<std::unique_ptr<workload::AppModel>> apps_;
     std::unique_ptr<core::Controller> controller_;
+    /** Dedicated tier backends (capped zswap pools) built for chain
+     *  specs; host singletons cover the uncapped tiers. */
+    std::vector<std::unique_ptr<backend::OffloadBackend>> tierBackends_;
+    /** Chains built by buildChain(), one per addApp/setTiers call. */
+    std::vector<std::unique_ptr<tier::TierChain>> chains_;
+    /** Cgroups with a maintenance tick already scheduled. */
+    std::vector<const cgroup::Cgroup *> maintScheduled_;
     bool started_ = false;
 };
 

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+#include "tier/tier_chain.hpp"
+
 namespace tmo::mem
 {
 
@@ -12,7 +15,10 @@ MemoryManager::MemoryManager(MemoryConfig config, std::uint64_t seed)
 {
     assert(config_.pageBytes > 0);
     assert(config_.ramBytes >= config_.pageBytes);
+    assert(config_.heatDecayPeriod > 0);
 }
+
+MemoryManager::~MemoryManager() = default;
 
 MemCg &
 MemoryManager::attach(cgroup::Cgroup &cg,
@@ -50,14 +56,51 @@ MemoryManager::attach(cgroup::Cgroup &cg,
     return ref;
 }
 
+MemCg &
+MemoryManager::attachChain(cgroup::Cgroup &cg, tier::TierChain *chain,
+                           backend::OffloadBackend *file_backend,
+                           double compressibility)
+{
+    // Register the tiers in chain order before the file backend, so a
+    // one-tier chain produces the same registry layout as the raw
+    // attach() it shims.
+    MemCg &mcg = attach(cg, chain ? chain->tier(0) : nullptr,
+                        file_backend, compressibility);
+    if (chain)
+        setAnonChain(cg, chain);
+    return mcg;
+}
+
 void
 MemoryManager::setAnonBackend(cgroup::Cgroup &cg,
                               backend::OffloadBackend *anon_backend)
 {
     MemCg &mcg = memcgOf(cg);
+    clearTierLists(mcg);
     mcg.anonBackend = anon_backend;
-    mcg.anonColdBackend = nullptr;
+    mcg.anonChain = nullptr;
     registerBackend(anon_backend);
+}
+
+void
+MemoryManager::setAnonChain(cgroup::Cgroup &cg, tier::TierChain *chain)
+{
+    MemCg &mcg = memcgOf(cg);
+    clearTierLists(mcg);
+    if (!chain) {
+        mcg.anonBackend = nullptr;
+        mcg.anonChain = nullptr;
+        return;
+    }
+    // The chain itself is never registered: page.store always indexes
+    // the concrete tier holding the page, and ramUsed() must count
+    // each tier's DRAM overhead exactly once.
+    mcg.anonBackend = chain;
+    mcg.anonChain = chain;
+    for (std::size_t i = 0; i < chain->size(); ++i)
+        registerBackend(chain->tier(i));
+    mcg.tierLists.assign(chain->size(), LruList{});
+    mcg.tierBytes.assign(chain->size(), 0);
 }
 
 void
@@ -65,11 +108,47 @@ MemoryManager::setAnonTiering(cgroup::Cgroup &cg,
                               backend::OffloadBackend *anon_backend,
                               backend::OffloadBackend *cold_backend)
 {
-    MemCg &mcg = memcgOf(cg);
-    mcg.anonBackend = anon_backend;
-    mcg.anonColdBackend = cold_backend;
-    registerBackend(anon_backend);
-    registerBackend(cold_backend);
+    // Legacy two-tier hierarchy: now a stock chain with the
+    // working-set placement rule and no background movement, which
+    // reproduces the historical warm/cold fall-through byte for byte.
+    tier::TierChainConfig config;
+    config.placement = tier::TierPlacement::WORKINGSET;
+    config.moveBudgetBytes = 0;
+    ownedChains_.push_back(std::make_unique<tier::TierChain>(
+        "tiered",
+        std::vector<backend::OffloadBackend *>{anon_backend,
+                                               cold_backend},
+        config));
+    setAnonChain(cg, ownedChains_.back().get());
+}
+
+void
+MemoryManager::clearTierLists(MemCg &mcg)
+{
+    for (auto &list : mcg.tierLists) {
+        while (!list.empty()) {
+            const PageIdx idx = list.head();
+            list.remove(pages_, idx);
+            pages_[idx].flags &= ~PG_TIER_LISTED;
+        }
+    }
+    mcg.tierLists.clear();
+    mcg.tierBytes.clear();
+}
+
+void
+MemoryManager::tierListRemove(MemCg &mcg, PageIdx idx, Page &page)
+{
+    if (!(page.flags & PG_TIER_LISTED))
+        return;
+    assert(mcg.anonChain && page.store < backends_.size());
+    const int t = mcg.anonChain->indexOf(backends_[page.store]);
+    assert(t >= 0 &&
+           static_cast<std::size_t>(t) < mcg.tierLists.size());
+    mcg.tierLists[static_cast<std::size_t>(t)].remove(pages_, idx);
+    auto &bytes = mcg.tierBytes[static_cast<std::size_t>(t)];
+    bytes -= std::min<std::uint64_t>(bytes, page.storedBytes);
+    page.flags &= ~PG_TIER_LISTED;
 }
 
 std::uint8_t
@@ -256,6 +335,12 @@ MemoryManager::access(PageIdx idx, sim::SimTime now)
                 mcg.lru.attachHead(pages_, idx, active);
                 page.flags &= ~PG_REFERENCED;
                 ++mcg.cg->stats().pgactivate;
+                // Activation is the cheap warmth signal feeding
+                // tiered placement (a fault later adds more heat).
+                if (page.isAnon() && mcg.anonChain)
+                    touchHeat(page,
+                              heatEpochAt(now, config_.heatDecayPeriod),
+                              1);
             } else {
                 page.flags |= PG_REFERENCED;
             }
@@ -276,6 +361,13 @@ MemoryManager::access(PageIdx idx, sim::SimTime now)
       case Where::SWAP: {
         assert(page.store < backends_.size() &&
                "offloaded anon page without backend");
+        // Leaving the offload tier: drop off the movement list and
+        // bump heat — a re-faulted page is hot and the next eviction
+        // will place it in a faster tier (promotion via refault).
+        tierListRemove(mcg, idx, page);
+        if (mcg.anonChain)
+            touchHeat(page, heatEpochAt(now, config_.heatDecayPeriod),
+                      2);
         backend::OffloadBackend *be = backends_[page.store];
         load = be->load(page.storedBytes, now);
         if (page.where == Where::ZSWAP) {
@@ -361,6 +453,7 @@ MemoryManager::freePage(PageIdx idx)
 {
     Page &page = pages_[idx];
     MemCg &mcg = *memcgs_[page.memcg];
+    tierListRemove(mcg, idx, page);
     switch (page.where) {
       case Where::RAM:
         mcg.lru.detach(pages_, idx);
@@ -388,7 +481,8 @@ MemoryManager::freePage(PageIdx idx)
     page.where = Where::FS;
     page.storedBytes = 0;
     page.store = 0xff;
-    page.flags &= ~(PG_REFERENCED | PG_WORKINGSET | PG_DIRTY);
+    page.flags &= ~(PG_REFERENCED | PG_WORKINGSET | PG_DIRTY |
+                    PG_TIER_LISTED);
     page.memcg = 0xffff; // detached from any cgroup until reused
     freeSlots_.push_back(idx);
 }
@@ -516,6 +610,158 @@ MemoryManager::idleBreakdown(const cgroup::Cgroup &cg,
         std::max(0.0, 1.0 - breakdown.used1min - breakdown.used2min -
                           breakdown.used5min);
     return breakdown;
+}
+
+sim::SimTime
+MemoryManager::tierMovePage(MemCg &mcg, PageIdx idx, Page &page,
+                            std::size_t from, std::size_t target,
+                            std::size_t stop, sim::SimTime now)
+{
+    tier::TierChain *chain = mcg.anonChain;
+    // Store into the destination first: acceptance (compressibility,
+    // caps, offline tiers) is checked before the source copy is
+    // touched, so a failed move leaves the page exactly where it was.
+    const auto cs = chain->storeFrom(target, stop, config_.pageBytes,
+                                     mcg.compressibility, now);
+    if (!cs.result.accepted)
+        return NO_MOVE;
+    assert(page.store < backends_.size());
+    backend::OffloadBackend *source = backends_[page.store];
+    const auto load = source->load(page.storedBytes, now);
+
+    // Ownership of storedBytes transfers atomically: uncharge the
+    // source representation, then charge the destination's. Workload-
+    // visible fault counters (pswpin & co.) stay untouched — moves
+    // are background work, not faults.
+    if (page.where == Where::ZSWAP) {
+        mcg.zswapBytes -= std::min<std::uint64_t>(mcg.zswapBytes,
+                                                  page.storedBytes);
+        mcg.cg->uncharge(page.storedBytes);
+    } else {
+        mcg.swapBytes -= std::min<std::uint64_t>(mcg.swapBytes,
+                                                 page.storedBytes);
+    }
+    mcg.tierLists[from].remove(pages_, idx);
+    auto &from_bytes = mcg.tierBytes[from];
+    from_bytes -= std::min<std::uint64_t>(from_bytes, page.storedBytes);
+
+    const auto to = static_cast<std::size_t>(cs.tierIndex);
+    page.storedBytes = static_cast<std::uint32_t>(cs.result.storedBytes);
+    page.store = registerBackend(cs.tier);
+    if (cs.tier->storesInHostDram()) {
+        page.where = Where::ZSWAP;
+        mcg.zswapBytes += cs.result.storedBytes;
+        mcg.cg->charge(cs.result.storedBytes);
+    } else {
+        page.where = Where::SWAP;
+        mcg.swapBytes += cs.result.storedBytes;
+        // Demotions to a block device are physical writes the
+        // endurance regulator must see, same as evictions.
+        if (cs.tier->isBlockDevice())
+            mcg.swapoutBytes.add(static_cast<double>(config_.pageBytes),
+                                 now);
+    }
+    mcg.tierLists[to].addHead(pages_, idx);
+    mcg.tierBytes[to] += cs.result.storedBytes;
+    return load.latency + cs.result.latency;
+}
+
+TierMaintainOutcome
+MemoryManager::tierMaintain(cgroup::Cgroup &cg, sim::SimTime now)
+{
+    TierMaintainOutcome outcome;
+    MemCg &mcg = memcgOf(cg);
+    tier::TierChain *chain = mcg.anonChain;
+    if (!chain || chain->config().moveBudgetBytes == 0 ||
+        chain->size() < 2)
+        return outcome;
+    const std::uint8_t epoch =
+        heatEpochAt(now, config_.heatDecayPeriod);
+    const std::uint32_t batch = chain->config().scanBatch;
+    std::uint64_t budget = chain->config().moveBudgetBytes;
+    std::uint64_t scanned = 0;
+
+    // Demote pass: walk each tier's list from the tail (oldest
+    // stores, coldest by construction) and push pages whose decayed
+    // heat places them below their current tier straight to their
+    // target tier (falling further down if the target rejects).
+    for (std::size_t i = 0;
+         i + 1 < chain->size() && budget >= config_.pageBytes; ++i) {
+        std::uint32_t examined = 0;
+        PageIdx cur = mcg.tierLists[i].tail();
+        while (cur != NO_PAGE && examined < batch &&
+               budget >= config_.pageBytes) {
+            Page &page = pages_[cur];
+            const PageIdx warmer = page.prev;
+            ++examined;
+            ++scanned;
+            const int target = chain->placementIndex(
+                decayedHeat(page, epoch),
+                page.flags & PG_WORKINGSET);
+            if (target > static_cast<int>(i)) {
+                const auto latency = tierMovePage(
+                    mcg, cur, page, i,
+                    static_cast<std::size_t>(target), chain->size(),
+                    now);
+                if (latency == NO_MOVE)
+                    break; // nothing below will take pages right now
+                ++outcome.demotedPages;
+                outcome.movedBytes += config_.pageBytes;
+                outcome.deviceTime += latency;
+                budget -= config_.pageBytes;
+                ++mcg.cg->stats().tierDemote;
+                chain->noteDemote(1, sim::toUsec(latency));
+            }
+            cur = warmer;
+        }
+    }
+
+    // Promote pass: walk lower tiers from the head (newest stores,
+    // warmest) and pull pages whose heat says they belong higher —
+    // typically fall-through victims stored low because a faster
+    // tier was full at eviction time.
+    for (std::size_t i = chain->size();
+         i-- > 1 && budget >= config_.pageBytes;) {
+        std::uint32_t examined = 0;
+        PageIdx cur = mcg.tierLists[i].head();
+        while (cur != NO_PAGE && examined < batch &&
+               budget >= config_.pageBytes) {
+            Page &page = pages_[cur];
+            const PageIdx colder = page.next;
+            ++examined;
+            ++scanned;
+            const int target = chain->placementIndex(
+                decayedHeat(page, epoch),
+                page.flags & PG_WORKINGSET);
+            if (target < static_cast<int>(i)) {
+                const auto latency = tierMovePage(
+                    mcg, cur, page, i,
+                    static_cast<std::size_t>(target), i, now);
+                if (latency == NO_MOVE)
+                    break; // faster tiers still full
+                ++outcome.promotedPages;
+                outcome.movedBytes += config_.pageBytes;
+                outcome.deviceTime += latency;
+                budget -= config_.pageBytes;
+                ++mcg.cg->stats().tierPromote;
+                chain->notePromote(1, sim::toUsec(latency));
+            }
+            cur = colder;
+        }
+    }
+
+    outcome.cpuTime = sim::fromUsec(static_cast<double>(scanned) *
+                                    config_.reclaimUsPerPage);
+    if (trace_ && (outcome.demotedPages || outcome.promotedPages)) {
+        trace_->record(now, obs::TraceEventType::TIER_MOVE, 0,
+                       static_cast<std::uint16_t>(mcg.cg->id()),
+                       {static_cast<double>(outcome.demotedPages),
+                        static_cast<double>(outcome.promotedPages),
+                        static_cast<double>(outcome.movedBytes),
+                        sim::toUsec(outcome.deviceTime),
+                        sim::toUsec(outcome.cpuTime)});
+    }
+    return outcome;
 }
 
 void

@@ -33,6 +33,11 @@ namespace tmo::obs
 class TraceRing;
 }
 
+namespace tmo::tier
+{
+class TierChain;
+}
+
 namespace tmo::mem
 {
 
@@ -79,6 +84,12 @@ struct MemoryConfig {
      * over-aggressive configurations hurt (Fig. 13).
      */
     double lruMisagingRate = 0.10;
+    /**
+     * Length of one hotness decay epoch: a page's heat counter is
+     * halved per elapsed epoch (tiered placement, TPP-style). Only
+     * consulted when a cgroup runs a TierChain.
+     */
+    sim::SimTime heatDecayPeriod = 30 * sim::SEC;
 };
 
 /** Outcome of one page access. */
@@ -100,6 +111,21 @@ struct ReclaimOutcome {
     std::uint64_t anonPages = 0;
     std::uint64_t filePages = 0;
     /** CPU time consumed (charged as memstall on direct reclaim). */
+    sim::SimTime cpuTime = 0;
+};
+
+/** Result of one background tier-maintenance pass. */
+struct TierMaintainOutcome {
+    /** Pages moved down the chain (heat decayed below their tier). */
+    std::uint64_t demotedPages = 0;
+    /** Pages moved up the chain (hot but stuck low after an earlier
+     *  fall-through). */
+    std::uint64_t promotedPages = 0;
+    /** Uncompressed bytes moved (counts against the chain budget). */
+    std::uint64_t movedBytes = 0;
+    /** Device time consumed by the moves (store + load latencies). */
+    sim::SimTime deviceTime = 0;
+    /** CPU time for the scans (reclaimUsPerPage per examined page). */
     sim::SimTime cpuTime = 0;
 };
 
@@ -134,16 +160,26 @@ struct MemCg {
     /** All live pages of this cgroup by lastAccess, most recent first
      *  (incremental idle-age accounting; see AgeList). */
     AgeList ages;
-    /** Offload backend for anon pages (zswap pool or swap partition);
-     *  nullptr = file-only mode (no swapping). */
+    /** Offload backend for anon pages (zswap pool, swap partition,
+     *  or a TierChain); nullptr = file-only mode (no swapping). When
+     *  anonChain is set this aliases it, so controllers keep reading
+     *  aggregate status/utilization through the same pointer. */
     backend::OffloadBackend *anonBackend = nullptr;
+    /** The tier chain behind anonBackend, or nullptr for a raw
+     *  single backend. Reclaim then places pages by hotness (or the
+     *  legacy working-set rule) and falls through rejected stores
+     *  down the chain (§5.2). */
+    tier::TierChain *anonChain = nullptr;
     /**
-     * Optional cold tier (§5.2 hierarchy): when set, pages without
-     * working-set history are placed here directly, and stores the
-     * primary backend rejects (incompressible data, pool cap) fall
-     * through to it.
+     * Per-tier lists of this cgroup's offloaded pages (index =
+     * chain tier), insertion-ordered newest first. They reuse
+     * Page::prev/next — free while a page is off the resident LRUs —
+     * so background demotion/promotion scans touch only this
+     * cgroup's pages on the affected tier. Sized by setAnonChain.
      */
-    backend::OffloadBackend *anonColdBackend = nullptr;
+    std::vector<LruList> tierLists;
+    /** Bytes this cgroup stores per chain tier (occupancy metrics). */
+    std::vector<std::uint64_t> tierBytes;
     /** Filesystem backend for file pages. */
     backend::OffloadBackend *fileBackend = nullptr;
     /** Mean compression ratio of this workload's anon data. */
@@ -183,6 +219,7 @@ class MemoryManager
 {
   public:
     MemoryManager(MemoryConfig config, std::uint64_t seed = 3);
+    ~MemoryManager(); // out of line: ownedChains_ holds incomplete type
 
     MemoryManager(const MemoryManager &) = delete;
     MemoryManager &operator=(const MemoryManager &) = delete;
@@ -204,16 +241,32 @@ class MemoryManager
                   backend::OffloadBackend *file_backend,
                   double compressibility = 3.0);
 
+    /**
+     * attach() with a TierChain as the anon backend: reclaim places
+     * pages across the chain's tiers and tierMaintain() moves them
+     * as their hotness changes.
+     */
+    MemCg &attachChain(cgroup::Cgroup &cg, tier::TierChain *chain,
+                       backend::OffloadBackend *file_backend,
+                       double compressibility = 3.0);
+
     /** Switch a cgroup's anon backend (e.g. Fig. 11 phase changes).
      *  Pages already offloaded stay in their old backend until
      *  faulted back. */
     void setAnonBackend(cgroup::Cgroup &cg,
                         backend::OffloadBackend *anon_backend);
 
+    /** Switch a cgroup onto a tier chain (phase changes with tiering).
+     *  Pages offloaded under the old configuration drop off the
+     *  movement lists and stay put until faulted back. */
+    void setAnonChain(cgroup::Cgroup &cg, tier::TierChain *chain);
+
     /**
-     * Configure a two-tier anon hierarchy (§5.2): warm/compressible
-     * pages go to @p anon_backend, cold or rejected pages to
-     * @p cold_backend.
+     * @deprecated Pre-chain two-tier hierarchy (§5.2). Builds an
+     * internally owned two-tier TierChain with the legacy working-set
+     * placement and a zero movement budget — byte-identical to the
+     * historical anonColdBackend behaviour. Use attachChain() /
+     * setAnonChain() for new code.
      */
     void setAnonTiering(cgroup::Cgroup &cg,
                         backend::OffloadBackend *anon_backend,
@@ -257,6 +310,18 @@ class MemoryManager
      * the largest cgroups until it recovers. Call periodically.
      */
     void kswapd(sim::SimTime now);
+
+    /**
+     * One budgeted tier-maintenance pass for @p cg (TPP-style):
+     * demote offloaded pages whose decayed heat places them below
+     * their current tier, promote pages stuck below their warmth
+     * (fall-through victims), both bounded by the chain's
+     * moveBudgetBytes and scanBatch. No-op without a chain or with a
+     * zero budget (legacy shims). The Host schedules this per
+     * movePeriod; movement cost is returned so callers can charge it.
+     */
+    TierMaintainOutcome tierMaintain(cgroup::Cgroup &cg,
+                                     sim::SimTime now);
 
     // --- accounting & introspection --------------------------------------
 
@@ -336,6 +401,27 @@ class MemoryManager
     /** Register a backend; returns its stable registry index. */
     std::uint8_t registerBackend(backend::OffloadBackend *be);
 
+    /** Drop every page off @p mcg's tier lists (chain switch). */
+    void clearTierLists(MemCg &mcg);
+
+    /** Unlink an offloaded page from its tier list, if listed. */
+    void tierListRemove(MemCg &mcg, PageIdx idx, Page &page);
+
+    /** tierMovePage() result when no tier accepted the page. */
+    static constexpr sim::SimTime NO_MOVE = ~sim::SimTime{0};
+
+    /**
+     * Move one offloaded page into the tier accepting it among
+     * [target, stop): store into the destination first (acceptance
+     * check), then load-free the source copy, keeping all cgroup
+     * byte accounting (zswap DRAM charge, swap slots, endurance)
+     * consistent across the move. Returns the device time, or
+     * NO_MOVE when no tier accepted.
+     */
+    sim::SimTime tierMovePage(MemCg &mcg, PageIdx idx, Page &page,
+                              std::size_t from, std::size_t target,
+                              std::size_t stop, sim::SimTime now);
+
     MemoryConfig config_;
     sim::Rng rng_;
     std::vector<Page> pages_;
@@ -359,6 +445,8 @@ class MemoryManager
     std::unordered_map<const cgroup::Cgroup *, std::vector<std::uint16_t>>
         subtree_;
     std::vector<backend::OffloadBackend *> backends_;
+    /** Chains built internally for the deprecated setAnonTiering(). */
+    std::vector<std::unique_ptr<tier::TierChain>> ownedChains_;
     obs::TraceRing *trace_ = nullptr;
     std::uint64_t residentPages_ = 0;
     std::uint64_t oomEvents_ = 0;

@@ -47,6 +47,9 @@ enum PageFlags : std::uint8_t {
     PG_WORKINGSET = 1u << 2,
     /** Dirty file page: eviction requires writeback. */
     PG_DIRTY = 1u << 3,
+    /** Offloaded page linked on a per-(memcg, tier) list of its
+     *  owning TierChain (background promotion/demotion scans). */
+    PG_TIER_LISTED = 1u << 4,
 };
 
 /** The LRU list a resident page is on. */
@@ -100,6 +103,16 @@ struct Page {
     std::uint8_t store = 0xff;
     Where where = Where::FS;
     LruKind lru = LruKind::NONE;
+    /**
+     * Saturating hotness counter for tiered placement (TPP-style):
+     * bumped on faults and activations, halved per elapsed decay
+     * epoch (see decayedHeat). Lives in what used to be struct
+     * padding, so the Page stays 48 bytes.
+     */
+    std::uint8_t heat = 0;
+    /** Decay epoch heat was last normalized to (wrapping uint8; a
+     *  wrap after 256 idle epochs reads as fresh heat 0 — benign). */
+    std::uint8_t heatEpoch = 0;
     /** Bytes occupied in the offload backend while offloaded. */
     std::uint32_t storedBytes = 0;
     /**
@@ -115,5 +128,35 @@ struct Page {
     bool referenced() const { return flags & PG_REFERENCED; }
     bool resident() const { return where == Where::RAM; }
 };
+
+/** Decay epoch at @p now for the given decay period. */
+inline std::uint8_t
+heatEpochAt(sim::SimTime now, sim::SimTime period)
+{
+    return static_cast<std::uint8_t>(now / period);
+}
+
+/**
+ * The page's heat normalized to @p epoch: halved once per elapsed
+ * decay epoch (right shift), zero after 8 idle epochs. Pure — does
+ * not rewrite the stored counter.
+ */
+inline unsigned
+decayedHeat(const Page &page, std::uint8_t epoch)
+{
+    const std::uint8_t delta =
+        static_cast<std::uint8_t>(epoch - page.heatEpoch);
+    return delta >= 8 ? 0u
+                      : static_cast<unsigned>(page.heat) >> delta;
+}
+
+/** Age the page's heat to @p epoch and add @p increment (saturating). */
+inline void
+touchHeat(Page &page, std::uint8_t epoch, unsigned increment)
+{
+    const unsigned heat = decayedHeat(page, epoch) + increment;
+    page.heat = static_cast<std::uint8_t>(heat > 0xff ? 0xff : heat);
+    page.heatEpoch = epoch;
+}
 
 } // namespace tmo::mem

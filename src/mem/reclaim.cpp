@@ -15,6 +15,7 @@
 
 #include "mem/memory_manager.hpp"
 #include "obs/trace.hpp"
+#include "tier/tier_chain.hpp"
 
 namespace tmo::mem
 {
@@ -94,26 +95,33 @@ MemoryManager::shrinkMemCg(MemCg &mcg, std::uint64_t target_bytes,
         }
     };
 
-    auto evict_anon = [&](PageIdx idx, Page &page) -> bool {
-        // Tiered placement (§5.2): pages with working-set history are
-        // warmer — keep them in the fast tier; cold pages go straight
-        // to the cold tier.
-        backend::OffloadBackend *be = mcg.anonBackend;
-        if (mcg.anonColdBackend && !(page.flags & PG_WORKINGSET))
-            be = mcg.anonColdBackend;
+    const std::uint8_t heat_epoch =
+        heatEpochAt(now, config_.heatDecayPeriod);
 
-        auto store =
-            be->store(config_.pageBytes, mcg.compressibility, now);
-        if (!store.accepted && mcg.anonColdBackend &&
-            be != mcg.anonColdBackend) {
-            // Incompressible data or pool cap: demote to the cold
-            // tier instead of failing the eviction.
-            be = mcg.anonColdBackend;
+    auto evict_anon = [&](PageIdx idx, Page &page) -> bool {
+        // Tiered placement (§5.2): the chain picks an entry tier from
+        // the page's decayed heat (or the legacy working-set rule for
+        // AnonMode shims) and a rejected store — incompressible data,
+        // pool cap, full partition — falls through down the chain.
+        backend::OffloadBackend *be = mcg.anonBackend;
+        backend::StoreResult store;
+        int chain_tier = -1;
+        if (tier::TierChain *chain = mcg.anonChain) {
+            const int start = chain->placementIndex(
+                decayedHeat(page, heat_epoch),
+                page.flags & PG_WORKINGSET);
+            const auto cs = chain->storeFrom(
+                static_cast<std::size_t>(start), config_.pageBytes,
+                mcg.compressibility, now);
+            be = cs.tier; // last attempted; nullptr = all offline
+            store = cs.result;
+            chain_tier = cs.tierIndex;
+        } else {
             store =
                 be->store(config_.pageBytes, mcg.compressibility, now);
         }
         if (!store.accepted) {
-            if (be->isBlockDevice()) {
+            if (!be || be->isBlockDevice()) {
                 anon_blocked = true; // swap partition full
             }
             ++mcg.storeRejects;
@@ -148,6 +156,14 @@ MemoryManager::shrinkMemCg(MemCg &mcg, std::uint64_t target_bytes,
             }
         }
         ++mcg.cg->stats().pswpout;
+        if (chain_tier >= 0) {
+            // Track the page on its tier's movement list so
+            // background maintenance can demote/promote it later.
+            const auto t = static_cast<std::size_t>(chain_tier);
+            mcg.tierLists[t].addHead(pages_, idx);
+            mcg.tierBytes[t] += store.storedBytes;
+            page.flags |= PG_TIER_LISTED;
+        }
         return true;
     };
 

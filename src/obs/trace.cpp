@@ -25,6 +25,8 @@ traceEventTypeName(TraceEventType type)
         return "oomd_kill";
       case TraceEventType::CONTROLLER:
         return "controller";
+      case TraceEventType::TIER_MOVE:
+        return "tier_move";
     }
     return "?";
 }

@@ -62,9 +62,13 @@ enum class TraceEventType : std::uint8_t {
     /** Controller lifecycle. code = 0 start, 1 stop, 2 OomdLite
      *  armed, 3 OomdLite disarmed. */
     CONTROLLER,
+    /** One background tier-maintenance pass moved pages between chain
+     *  tiers. domain = cgroup id, a0 = pages demoted, a1 = pages
+     *  promoted, a2 = bytes moved, a3 = device us, a4 = cpu us. */
+    TIER_MOVE,
 };
 
-constexpr std::size_t NUM_TRACE_EVENT_TYPES = 8;
+constexpr std::size_t NUM_TRACE_EVENT_TYPES = 9;
 
 /** Stable lower-case name for exporters ("psi_state", ...). */
 const char *traceEventTypeName(TraceEventType type);

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Composable multi-tier offload chain (§5.2 tiering, TPP policy).
+ *
+ * A TierChain composes an ordered list of OffloadBackend tiers,
+ * fastest first (e.g. zswap-warm → zswap-cold → SSD). It implements
+ * OffloadBackend itself for the aggregate views controllers need
+ * (status, utilization, DRAM overhead), but the memory manager always
+ * addresses the *concrete* tier holding a page: stores walk the chain
+ * downward from a hotness-chosen start tier, and per-page state
+ * (Page::store / storedBytes) points at the accepting tier, so loads
+ * and releases hit the right device with no indirection.
+ *
+ * Placement policies:
+ *  - HOTNESS (spec-built chains): the page's decay-aged heat counter
+ *    picks the start tier — hot pages enter high (fast) tiers, cold
+ *    pages enter low ones. Background maintenance (see
+ *    MemoryManager::tierMaintain) demotes pages whose heat decayed
+ *    below their tier and promotes pages stuck below their warmth,
+ *    budgeted per Senpai tick so movement cost is bounded and charged
+ *    through the cost model.
+ *  - Legacy WORKINGSET (AnonMode shims): working-set pages start at
+ *    tier 0, cold pages at the last tier, reproducing the historical
+ *    two-tier AnonMode::TIERED behaviour byte for byte. Shim chains
+ *    run with a zero movement budget, so no background events fire
+ *    and legacy runs stay bit-identical to pre-chain builds.
+ *
+ * Aggregate status is FAILED only when every tier is FAILED (or
+ * offline): as long as one tier accepts pages the chain degrades to
+ * the remaining tiers instead of blocking anon reclaim.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "backend/backend.hpp"
+#include "sim/time.hpp"
+#include "stats/histogram.hpp"
+#include "tier/tier_spec.hpp"
+
+namespace tmo::tier
+{
+
+/** How a chain picks the entry tier for an evicted page. */
+enum class TierPlacement {
+    /** Decay-aged per-page heat chooses the tier (TPP-style). */
+    HOTNESS,
+    /** Legacy shim: working-set pages to tier 0, others to the last
+     *  tier (pre-chain AnonMode::TIERED semantics). */
+    WORKINGSET,
+};
+
+/** Tunables of one chain. */
+struct TierChainConfig {
+    TierPlacement placement = TierPlacement::HOTNESS;
+    /**
+     * Byte budget for background demotion/promotion per maintenance
+     * tick; 0 disables movement entirely (legacy shims). The budget
+     * counts uncompressed page bytes, so movement cost scales with
+     * the configured page size.
+     */
+    std::uint64_t moveBudgetBytes = 8ull << 20;
+    /** Maintenance cadence (aligned with Senpai's 6 s tick). */
+    sim::SimTime movePeriod = 6 * sim::SEC;
+    /** Pages examined per tier per maintenance pass. */
+    std::uint32_t scanBatch = 64;
+};
+
+/**
+ * An ordered list of offload tiers behind the OffloadBackend
+ * interface. The chain does not own its tier backends (the Host does);
+ * it owns only policy, per-tier offline flags, and movement counters.
+ */
+class TierChain : public backend::OffloadBackend
+{
+  public:
+    /** Result of a fall-through store down the chain. */
+    struct StoreOutcome {
+        backend::StoreResult result;
+        /** Accepting (or last attempted) tier; nullptr when every
+         *  tier was offline. */
+        backend::OffloadBackend *tier = nullptr;
+        /** Index of that tier; -1 when none was attempted. */
+        int tierIndex = -1;
+    };
+
+    /**
+     * @param name Chain name for reports (canonical spec string).
+     * @param tiers Backends fastest-first; at least one.
+     * @param specs Per-tier specs (for reports); may be empty.
+     */
+    TierChain(std::string name,
+              std::vector<backend::OffloadBackend *> tiers,
+              TierChainConfig config, std::vector<TierSpec> specs = {});
+
+    // --- OffloadBackend (aggregate views) -----------------------------
+
+    const std::string &name() const override { return name_; }
+
+    /** FAILED only when all tiers are FAILED or offline; otherwise
+     *  the worst non-failed impairment (DEGRADED propagates). */
+    backend::BackendStatus status() const override;
+
+    /** Generic store: falls through from the top tier. Prefer
+     *  storeFrom() for placement-aware callers. */
+    backend::StoreResult store(std::uint64_t page_bytes,
+                               double compressibility,
+                               sim::SimTime now) override
+    {
+        return storeFrom(0, page_bytes, compressibility, now).result;
+    }
+
+    /** Pages are loaded from their concrete tier (Page::store), never
+     *  through the chain; this forwards to tier 0 defensively. */
+    backend::LoadResult load(std::uint64_t stored_bytes,
+                             sim::SimTime now) override;
+
+    /** See load(); forwards to tier 0 defensively. */
+    void release(std::uint64_t stored_bytes) override;
+
+    /** Sum of all tiers' stored bytes. */
+    std::uint64_t usedBytes() const override;
+
+    /** Sum of all tiers' DRAM overhead — a zswap middle tier charges
+     *  its pool even when it is not the primary backend. */
+    std::uint64_t residentOverheadBytes() const override;
+
+    /** True when any tier waits on a block device. */
+    bool isBlockDevice() const override;
+
+    /** Most-constrained tier: max utilization across tiers, so a
+     *  nearly full terminal tier surfaces to Senpai's swap
+     *  watermark even behind unbounded compressed tiers. */
+    double utilization() const override;
+
+    /** The chain is not a DRAM pool itself; per-page DRAM residency
+     *  follows the concrete tier's storesInHostDram(). */
+    bool storesInHostDram() const override { return false; }
+
+    // --- chain-specific API -------------------------------------------
+
+    /**
+     * Try to store one page into tiers [start, size()), fastest
+     * eligible first, skipping offline tiers. A store the tier
+     * rejects (incompressible page, pool cap, full partition) falls
+     * through to the next tier — the §5.2 fall-through, generalized.
+     */
+    StoreOutcome storeFrom(std::size_t start, std::uint64_t page_bytes,
+                           double compressibility, sim::SimTime now);
+
+    /** storeFrom() bounded to tiers [start, stop) — used by
+     *  promotion so a page never "promotes" into its own tier. */
+    StoreOutcome storeFrom(std::size_t start, std::size_t stop,
+                           std::uint64_t page_bytes,
+                           double compressibility, sim::SimTime now);
+
+    /**
+     * Entry tier for a page of the given decayed @p heat. With
+     * WORKINGSET placement, @p workingset alone decides. Heat 0 maps
+     * to the last tier, heat >= 7 to tier 0, linearly in between.
+     */
+    int placementIndex(unsigned heat, bool workingset) const;
+
+    std::size_t size() const { return tiers_.size(); }
+    backend::OffloadBackend *tier(std::size_t i) { return tiers_[i]; }
+    const backend::OffloadBackend *tier(std::size_t i) const
+    {
+        return tiers_[i];
+    }
+
+    /** Index of @p be in the chain, -1 when absent. */
+    int indexOf(const backend::OffloadBackend *be) const;
+
+    /** Per-tier spec tokens ("zswap:256mb"); backend name when the
+     *  chain was built without specs. */
+    std::string tierToken(std::size_t i) const;
+
+    const TierChainConfig &config() const { return config_; }
+
+    // --- fault injection ----------------------------------------------
+
+    /** Mark one tier offline: placement and fall-through skip it and
+     *  it reports FAILED into the aggregate status. Pages already
+     *  stored there stay until faulted back (like a capped pool). */
+    void setTierOffline(std::size_t i, bool offline);
+    bool tierOffline(std::size_t i) const { return offline_[i]; }
+
+    // --- movement accounting (fed by MemoryManager::tierMaintain) ----
+
+    void
+    noteDemote(std::uint64_t pages, double latency_us)
+    {
+        demotedPages_ += pages;
+        demoteLatencyUs_.add(latency_us);
+    }
+
+    void
+    notePromote(std::uint64_t pages, double latency_us)
+    {
+        promotedPages_ += pages;
+        promoteLatencyUs_.add(latency_us);
+    }
+
+    std::uint64_t demotedPages() const { return demotedPages_; }
+    std::uint64_t promotedPages() const { return promotedPages_; }
+
+    /** Inter-tier move latency (device time per moved page, us). */
+    const stats::Histogram &demoteLatencyUs() const
+    {
+        return demoteLatencyUs_;
+    }
+    const stats::Histogram &promoteLatencyUs() const
+    {
+        return promoteLatencyUs_;
+    }
+
+  private:
+    std::string name_;
+    std::vector<backend::OffloadBackend *> tiers_;
+    TierChainConfig config_;
+    std::vector<TierSpec> specs_;
+    std::vector<bool> offline_;
+    std::uint64_t demotedPages_ = 0;
+    std::uint64_t promotedPages_ = 0;
+    stats::Histogram demoteLatencyUs_{0.1, 1e7, 10};
+    stats::Histogram promoteLatencyUs_{0.1, 1e7, 10};
+};
+
+} // namespace tmo::tier

@@ -1,0 +1,162 @@
+#include "tier/tier_spec.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace tmo::tier
+{
+
+namespace
+{
+
+/** Parse "<n>kb|mb|gb" (case-insensitive) into bytes. */
+std::uint64_t
+parseCap(const std::string &text, const std::string &token)
+{
+    std::size_t pos = 0;
+    std::uint64_t value = 0;
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        value = value * 10 + static_cast<std::uint64_t>(text[pos] - '0');
+        ++pos;
+    }
+    if (pos == 0)
+        throw std::invalid_argument("bad tier '" + token +
+                                    "': capacity needs digits");
+    std::string unit = text.substr(pos);
+    for (auto &c : unit)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    std::uint64_t scale = 0;
+    if (unit == "kb")
+        scale = 1ull << 10;
+    else if (unit == "mb")
+        scale = 1ull << 20;
+    else if (unit == "gb")
+        scale = 1ull << 30;
+    else
+        throw std::invalid_argument(
+            "bad tier '" + token +
+            "': capacity unit must be kb, mb, or gb");
+    if (value == 0)
+        throw std::invalid_argument("bad tier '" + token +
+                                    "': capacity must be nonzero");
+    return value * scale;
+}
+
+TierSpec
+parseTier(const std::string &token)
+{
+    const std::size_t colon = token.find(':');
+    const std::string name = token.substr(0, colon);
+    TierSpec spec;
+    if (name == "zswap")
+        spec.kind = TierKind::ZSWAP;
+    else if (name == "ssd")
+        spec.kind = TierKind::SSD;
+    else if (name == "nvm" || name == "cxl")
+        spec.kind = TierKind::NVM;
+    else
+        throw std::invalid_argument(
+            "unknown tier '" + name +
+            "' (expected zswap, ssd, nvm, or cxl)");
+    if (colon != std::string::npos) {
+        if (spec.kind != TierKind::ZSWAP)
+            throw std::invalid_argument(
+                "bad tier '" + token +
+                "': only zswap tiers take a capacity cap");
+        spec.capBytes = parseCap(token.substr(colon + 1), token);
+    }
+    return spec;
+}
+
+} // namespace
+
+const char *
+tierKindName(TierKind kind)
+{
+    switch (kind) {
+      case TierKind::ZSWAP:
+        return "zswap";
+      case TierKind::SSD:
+        return "ssd";
+      case TierKind::NVM:
+        return "nvm";
+    }
+    return "?";
+}
+
+std::string
+TierSpec::token() const
+{
+    std::string text = tierKindName(kind);
+    if (capBytes == 0)
+        return text;
+    // Render in the largest unit that divides evenly.
+    std::uint64_t value = capBytes;
+    const char *unit = "kb";
+    value >>= 10;
+    if (value >= 1024 && value % 1024 == 0) {
+        value >>= 10;
+        unit = "mb";
+    }
+    if (value >= 1024 && value % 1024 == 0) {
+        value >>= 10;
+        unit = "gb";
+    }
+    return text + ":" + std::to_string(value) + unit;
+}
+
+std::string
+TierChainSpec::toString() const
+{
+    if (tiers.empty())
+        return "none";
+    std::string text;
+    for (const auto &tier : tiers) {
+        if (!text.empty())
+            text += '+';
+        text += tier.token();
+    }
+    return text;
+}
+
+TierChainSpec
+TierChainSpec::parse(const std::string &text)
+{
+    TierChainSpec spec;
+    if (text.empty() || text == "none")
+        return spec;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t plus = text.find('+', start);
+        if (plus == std::string::npos)
+            plus = text.size();
+        const std::string token = text.substr(start, plus - start);
+        if (token.empty())
+            throw std::invalid_argument("bad tier chain '" + text +
+                                        "': empty tier token");
+        spec.tiers.push_back(parseTier(token));
+        start = plus + 1;
+        if (plus == text.size())
+            break;
+    }
+    if (spec.tiers.size() > 8)
+        throw std::invalid_argument("bad tier chain '" + text +
+                                    "': at most 8 tiers");
+    return spec;
+}
+
+bool
+isValidTierChainSpec(const std::string &text, std::string *error)
+{
+    try {
+        (void)TierChainSpec::parse(text);
+        return true;
+    } catch (const std::invalid_argument &e) {
+        if (error)
+            *error = e.what();
+        return false;
+    }
+}
+
+} // namespace tmo::tier

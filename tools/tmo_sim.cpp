@@ -21,7 +21,12 @@
  *   --app NAME           workload preset [feed]
  *   --footprint-mb N     workload footprint [1024]
  *   --ram-mb N           host DRAM [2048]
+ *   --tiers SPEC         anon tier chain, fastest first, e.g.
+ *                        zswap:256mb+ssd or zswap+zswap:1gb+nvm
+ *                        ("none" disables anon offloading)
  *   --backend B          none|ssd|zswap|nvm|cxl|tiered [zswap]
+ *                        (deprecated; use --tiers — each mode is a
+ *                        one- or two-tier chain)
  *   --ssd-class C        SSD device class A-G [C]
  *   --zswap-compressor C lzo|lz4|zstd [zstd]
  *   --zswap-allocator A  zbud|z3fold|zsmalloc [zsmalloc]
@@ -72,6 +77,8 @@ struct Options {
     std::uint64_t footprintMb = 1024;
     std::uint64_t ramMb = 2048;
     std::string backend = "zswap";
+    /** Tier chain spec ("zswap:256mb+ssd"); empty = use backend. */
+    std::string tiers;
     char ssdClass = 'C';
     std::string zswapCompressor = "zstd";
     std::string zswapAllocator = "zsmalloc";
@@ -99,8 +106,10 @@ usage()
     std::cerr
         << "usage: tmo_sim [--app NAME] [--footprint-mb N] "
            "[--ram-mb N]\n"
-           "               [--backend none|ssd|zswap|nvm|cxl|tiered] "
-           "[--ssd-class A-G]\n"
+           "               [--tiers SPEC e.g. zswap:256mb+ssd]\n"
+           "               [--backend none|ssd|zswap|nvm|cxl|tiered "
+           "(deprecated; use --tiers)]\n"
+           "               [--ssd-class A-G]\n"
            "               [--controller "
            "none|senpai|senpai-aggressive|tmo|gswap]\n"
            "               [--zswap-compressor lzo|lz4|zstd] "
@@ -165,6 +174,15 @@ parse(int argc, char **argv, Options &options)
                           << options.backend
                           << "' (expected none|ssd|zswap|nvm|cxl|"
                              "tiered)\n";
+                return false;
+            }
+        } else if (flag == "--tiers") {
+            // Same fail-fast rule: a malformed chain spec dies here
+            // with the parser's named error, never mid-build.
+            options.tiers = value;
+            std::string error;
+            if (!tier::isValidTierChainSpec(options.tiers, &error)) {
+                std::cerr << "tmo_sim: " << error << "\n";
                 return false;
             }
         } else if (flag == "--ssd-class") {
@@ -351,7 +369,10 @@ printSingleHostSummary(host::Host &machine, const Options &options,
     stats::Table table("summary");
     table.setHeader({"metric", "value"});
     table.addRow({"app", options.app});
-    table.addRow({"backend", options.backend});
+    table.addRow(options.tiers.empty()
+                     ? std::vector<std::string>{"backend",
+                                                options.backend}
+                     : std::vector<std::string>{"tiers", options.tiers});
     table.addRow({"controller", machine.controller()
                                     ? machine.controller()->name()
                                     : "none"});
@@ -403,7 +424,10 @@ printFleetSummary(
     table.setHeader({"metric", "value"});
     table.addRow({"hosts", std::to_string(fleet.size())});
     table.addRow({"app", options.app});
-    table.addRow({"backend", options.backend});
+    table.addRow(options.tiers.empty()
+                     ? std::vector<std::string>{"backend",
+                                                options.backend}
+                     : std::vector<std::string>{"tiers", options.tiers});
     table.addRow({"controller", fleet.host(0).controller()
                                     ? fleet.host(0).controller()->name()
                                     : "none"});
@@ -477,9 +501,16 @@ main(int argc, char **argv)
     base_config.zswap.allocator =
         backend::allocatorPreset(options.zswapAllocator);
 
+    // --tiers wins over the deprecated --backend when both are given;
+    // "cxl" anywhere in the selection picks the CXL-DRAM NVM preset.
+    const bool use_tiers = !options.tiers.empty();
+    const bool wants_cxl =
+        use_tiers ? options.tiers.find("cxl") != std::string::npos
+                  : options.backend == "cxl";
+
     host::Fleet fleet;
     try {
-        fleet =
+        auto spec =
             host::FleetSpec{}
                 .config(base_config)
                 .hosts(options.hosts)
@@ -489,14 +520,16 @@ main(int argc, char **argv)
                 .ram_mb(options.ramMb)
                 .page_kb(64)
                 .ssd_class(options.ssdClass)
-                .nvm_preset(options.backend == "cxl" ? "cxl-dram"
-                                                     : "optane")
+                .nvm_preset(wants_cxl ? "cxl-dram" : "optane")
                 .seed(options.seed)
-                .backend(*backendMode(options.backend))
                 .workload(options.app, options.footprintMb)
                 .controller(host::controllerFactoryFor(
-                    options.controller, controller_options))
-                .build();
+                    options.controller, controller_options));
+        if (use_tiers)
+            spec.tiers(options.tiers);
+        else
+            spec.backend(*backendMode(options.backend));
+        fleet = spec.build();
     } catch (const std::invalid_argument &error) {
         std::cerr << "tmo_sim: " << error.what() << "\n";
         usage();
