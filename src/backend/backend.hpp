@@ -55,6 +55,28 @@ struct StoreResult {
     sim::SimTime latency = 0;
 };
 
+/**
+ * Retry budget for transient backend failures (§4 operational
+ * stance: a flaky device gets retried before its tier is declared
+ * FAILED and evacuated). All delays are simulated time on the owning
+ * shard's clock. Any jitter is drawn from the device's dedicated
+ * fault RNG and only on a failed attempt, so fault-free runs draw
+ * nothing and stay byte-identical; faulted runs stay deterministic
+ * per seed.
+ */
+struct RetryPolicy {
+    /** Total attempts per operation (1 = no retry). */
+    unsigned attempts = 3;
+    /** Per-operation stall budget. An operation stalled past this is
+     *  treated as hung and retried (zswap allocator-compaction
+     *  stalls); 0 disables the timeout. */
+    sim::SimTime opTimeout = sim::fromUsec(1000.0);
+    /** First retry backoff (decorrelated-jitter base). */
+    sim::SimTime backoffBase = sim::fromUsec(100.0);
+    /** Backoff ceiling per retry. */
+    sim::SimTime backoffCap = sim::fromUsec(5000.0);
+};
+
 /** Result of loading one page back on a fault. */
 struct LoadResult {
     /** Stall time the faulting task observes. */

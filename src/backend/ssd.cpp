@@ -72,6 +72,17 @@ SsdDevice::sampleWriteError()
     return faultRng_.chance(writeErrorRate_);
 }
 
+sim::SimTime
+SsdDevice::sampleRetryBackoff(sim::SimTime base, sim::SimTime prev,
+                              sim::SimTime cap)
+{
+    const double lo = static_cast<double>(base);
+    const double hi = static_cast<double>(std::max(base, 3 * prev));
+    const auto draw =
+        static_cast<sim::SimTime>(faultRng_.uniform(lo, hi));
+    return cap ? std::min(cap, draw) : draw;
+}
+
 void
 SsdDevice::injectWearFraction(double fraction)
 {

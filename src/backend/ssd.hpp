@@ -141,6 +141,16 @@ class SsdDevice
      */
     bool sampleWriteError();
 
+    /**
+     * Draw one decorrelated-jitter retry backoff from the fault RNG:
+     * uniform in [base, 3 * prev], capped at @p cap (0 = no cap).
+     * Only ever called on a failure path, so fault-free runs consume
+     * an identical random stream.
+     */
+    sim::SimTime sampleRetryBackoff(sim::SimTime base,
+                                    sim::SimTime prev,
+                                    sim::SimTime cap);
+
     /** Consume @p fraction of the rated endurance at once (wear-out
      *  injection; does not count as host-written bytes). */
     void injectWearFraction(double fraction);

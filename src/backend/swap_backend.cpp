@@ -40,11 +40,32 @@ SwapBackend::store(std::uint64_t page_bytes, double /* compressibility */,
                    sim::SimTime now)
 {
     StoreResult result;
-    if (device_.offline() || device_.sampleWriteError()) {
-        ++storeErrors_; // IO error: page stays resident
+    if (device_.offline()) {
+        ++storeErrors_; // hard failure: no point retrying
         result.accepted = false;
         traceOp(now, OP_STORE_REJECT, 0, page_bytes, 0, true);
         return result;
+    }
+    // Transient write errors are retried with decorrelated-jitter
+    // backoff before the store is abandoned; the accumulated backoff
+    // is charged to the store's latency. The jitter comes from the
+    // device's fault RNG and is drawn only after a failed attempt, so
+    // fault-free runs consume an identical random stream.
+    sim::SimTime backoff = 0;
+    sim::SimTime prev = retry_.backoffBase;
+    const unsigned attempts = std::max(1u, retry_.attempts);
+    for (unsigned attempt = 1; device_.sampleWriteError(); ++attempt) {
+        ++storeErrors_;
+        if (attempt >= attempts ||
+            (retry_.opTimeout && backoff >= retry_.opTimeout)) {
+            result.accepted = false; // budget spent: page stays resident
+            traceOp(now, OP_STORE_REJECT, backoff, page_bytes, 0, true);
+            return result;
+        }
+        prev = device_.sampleRetryBackoff(retry_.backoffBase, prev,
+                                          retry_.backoffCap);
+        backoff += prev;
+        ++retries_;
     }
     if (usedBytes_ + page_bytes > capacityBytes_) {
         result.accepted = false; // swap exhausted
@@ -54,7 +75,7 @@ SwapBackend::store(std::uint64_t page_bytes, double /* compressibility */,
     const sim::SimTime queued = device_.writeQueueDelay(now);
     result.accepted = true;
     result.storedBytes = page_bytes;
-    result.latency = device_.write(page_bytes, now);
+    result.latency = device_.write(page_bytes, now) + backoff;
     usedBytes_ += page_bytes;
     traceOp(now, OP_STORE, result.latency, page_bytes, queued, true);
     return result;

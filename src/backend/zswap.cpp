@@ -76,6 +76,26 @@ ZswapPool::setStallUs(double stall_us)
     stallUs_ = std::max(0.0, stall_us);
 }
 
+double
+ZswapPool::effectiveStallUs()
+{
+    if (stallUs_ <= 0.0)
+        return 0.0;
+    const double timeout = sim::toUsec(retry_.opTimeout);
+    if (retry_.attempts <= 1 || timeout <= 0.0 || stallUs_ <= timeout)
+        return stallUs_;
+    // An operation stalled past the per-op timeout is treated as hung
+    // on allocator compaction and reissued; a retry typically lands
+    // after compaction finished, so the observed stall is capped at
+    // attempts * timeout. Deterministic — no RNG involved.
+    const double capped = std::min(
+        stallUs_, static_cast<double>(retry_.attempts) * timeout);
+    retries_ += static_cast<std::uint64_t>(
+                    std::ceil(capped / timeout)) -
+                1;
+    return capped;
+}
+
 StoreResult
 ZswapPool::store(std::uint64_t page_bytes, double compressibility,
                  sim::SimTime now)
@@ -119,7 +139,7 @@ ZswapPool::store(std::uint64_t page_bytes, double compressibility,
     const double pages4k =
         std::max(1.0, static_cast<double>(page_bytes) / 4096.0);
     result.latency = sim::fromUsec(
-        config_.compressor.compressUs * pages4k + stallUs_);
+        config_.compressor.compressUs * pages4k + effectiveStallUs());
 
     usedBytes_ += result.storedBytes;
     ++storedPages_;
@@ -145,7 +165,7 @@ ZswapPool::load(std::uint64_t stored_bytes, sim::SimTime now)
                       config_.compressor.decompressUs;
     result.latency = sim::fromUsec(
         units * std::max(1.0, rng_.normal(us * 0.85, us * 0.15)) +
-        stallUs_);
+        effectiveStallUs());
     result.blockIo = false;
     traceOp(now, OP_LOAD, result.latency, stored_bytes, 0, false);
     return result;

@@ -141,14 +141,31 @@ class ZswapPool : public OffloadBackend
     void setStallUs(double stall_us);
     double stallUs() const { return stallUs_; }
 
+    /**
+     * Retry budget for hung operations: an op stalled past
+     * opTimeout is abandoned and retried, so the observed stall is
+     * capped at attempts * opTimeout (deterministic — no RNG draw).
+     */
+    void setRetryPolicy(const RetryPolicy &policy) { retry_ = policy; }
+    const RetryPolicy &retryPolicy() const { return retry_; }
+
+    /** Operations retried after stalling past the per-op timeout. */
+    std::uint64_t retries() const { return retries_; }
+
   private:
+    /** The injected stall as bounded by the retry budget; counts the
+     *  timed-out attempts into retries_. */
+    double effectiveStallUs();
+
     ZswapConfig config_;
     std::string name_;
     sim::Rng rng_;
     std::uint64_t usedBytes_ = 0;
     std::uint64_t storedPages_ = 0;
     std::uint64_t rejectedPages_ = 0;
+    std::uint64_t retries_ = 0;
     double stallUs_ = 0.0;
+    RetryPolicy retry_;
 };
 
 } // namespace tmo::backend

@@ -50,6 +50,9 @@ struct VmStats {
     std::uint64_t zswpin = 0;       ///< pages loaded from zswap
     std::uint64_t tierDemote = 0;   ///< pages moved down the tier chain
     std::uint64_t tierPromote = 0;  ///< pages moved up the tier chain
+    std::uint64_t tierEvacuate = 0; ///< pages drained off a dying tier
+    std::uint64_t tierLost = 0;     ///< pages lost with an unsavable tier
+    std::uint64_t lostRefault = 0;  ///< major faults on lost pages
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <stdexcept>
 
 #include "backend/swap_backend.hpp"
 #include "backend/zswap.hpp"
@@ -122,14 +123,25 @@ FaultInjector::apply(const FaultEvent &event)
         swap.setCapacityBytes(std::max<std::uint64_t>(shrunk, 4096));
         break;
       }
-      case FaultKind::CONTROLLER_STALL:
-      case FaultKind::CONTROLLER_CRASH: {
+      case FaultKind::CONTROLLER_CRASH:
+        if (host_.controllerFactory()) {
+            // With a rebuild recipe installed the crash destroys the
+            // daemon object and the host's watchdog re-creates it
+            // from the factory once the outage elapses (self-healing
+            // path; the watchdog records CONTROLLER start itself).
+            host_.crashController(
+                sim::fromSeconds(std::max(0.0, event.arg)));
+            break;
+        }
+        [[fallthrough]];
+      case FaultKind::CONTROLLER_STALL: {
         core::Controller *controller = host_.controller();
         if (!controller)
             break;
         controller->stop();
-        // Both faults silence the control loop; the restart models
-        // systemd bringing the daemon back after `arg` seconds.
+        // A stall (or a factory-less crash) silences the control loop
+        // but keeps the object; the restart models systemd bringing
+        // the daemon back after `arg` seconds.
         const auto outage =
             sim::fromSeconds(std::max(0.0, event.arg));
         const auto kind = event.kind;
@@ -153,15 +165,24 @@ FaultInjector::apply(const FaultEvent &event)
       case FaultKind::TIER_OFFLINE:
       case FaultKind::TIER_ONLINE: {
         // Applied to every chain on the host: the plan names a tier
-        // position, not a specific container's chain.
+        // position, not a specific container's chain. The timestamped
+        // overload engages evacuation (offline) and the gradual
+        // readmission ramp (online).
         const auto index =
             static_cast<std::size_t>(std::max(0.0, event.arg));
         const bool offline = event.kind == FaultKind::TIER_OFFLINE;
         for (tier::TierChain *chain : host_.chains())
             if (index < chain->size())
-                chain->setTierOffline(index, offline);
+                chain->setTierOffline(index, offline, sim.now());
         break;
       }
+      case FaultKind::HOST_CRASH:
+        // Thrown out of the shard's event loop: the fleet engine
+        // catches it, quarantines the shard, and — with a
+        // RestartPolicy — rebuilds the host at a later epoch
+        // boundary. The FAULT_INJECT trace record above is the last
+        // event this incarnation writes.
+        throw std::runtime_error("host-crash fault injected");
     }
 }
 

@@ -32,6 +32,7 @@ constexpr KindName KIND_NAMES[] = {
     {FaultKind::RAM_SHRINK, "ram-shrink"},
     {FaultKind::TIER_OFFLINE, "tier-offline"},
     {FaultKind::TIER_ONLINE, "tier-online"},
+    {FaultKind::HOST_CRASH, "host-crash"},
 };
 
 static_assert(sizeof(KIND_NAMES) / sizeof(KIND_NAMES[0]) ==

@@ -63,10 +63,15 @@ enum class FaultKind {
     TIER_OFFLINE,
     /** Bring tier arg (index) of every tier chain back online. */
     TIER_ONLINE,
+    /** Crash the whole host: the shard throws out of its event loop
+     *  and is quarantined by the fleet (arg ignored). With a
+     *  RestartPolicy the fleet rebuilds the host from its recipe at a
+     *  later epoch boundary; without one the host stays frozen. */
+    HOST_CRASH,
 };
 
 /** Number of fault kinds (for counters indexed by kind). */
-inline constexpr std::size_t NUM_FAULT_KINDS = 13;
+inline constexpr std::size_t NUM_FAULT_KINDS = 14;
 
 /** Spec name of a kind ("ssd-latency", "swap-exhaust", ...). */
 const char *faultKindName(FaultKind kind);

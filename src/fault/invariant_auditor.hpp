@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Chaos invariant auditor.
+ *
+ * Fault plans mutate hosts in ways ordinary tests never exercise
+ * (tiers dying mid-store, controllers crashing between ticks, whole
+ * hosts being rebuilt). The auditor re-derives every piece of memory
+ * accounting from the page table — the single source of truth — and
+ * cross-checks the incremental counters against it after every fleet
+ * epoch:
+ *
+ *  - per-cgroup: live pages == age-list size, resident pages == LRU
+ *    sizes (per list), zswap/swap byte counters == per-page
+ *    storedBytes sums, lost pages == pages parked in Where::LOST,
+ *    and conservation: resident + stored + lost + on-filesystem ==
+ *    all live pages;
+ *  - tier lists: every listed page carries PG_TIER_LISTED, belongs to
+ *    the cgroup, maps to the tier it is listed under, and no page is
+ *    on two lists; per-tier byte counters match;
+ *  - global: the manager's resident-page counter == the LRU sums, and
+ *    every offload backend's usedBytes == the storedBytes its pages
+ *    reference (the filesystem is exempt — file contents live there
+ *    whether cached or not).
+ *
+ * The checks are read-only and O(pages); wire into
+ * Fleet::enableInvariantAudit for continuous checking, or call
+ * directly from tests.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "host/host.hpp"
+
+namespace tmo::fault
+{
+
+/**
+ * Audit one host's memory accounting against its page table.
+ * @return One human-readable string per violated invariant; empty
+ *         when every invariant holds.
+ */
+std::vector<std::string> auditHost(host::Host &machine);
+
+} // namespace tmo::fault

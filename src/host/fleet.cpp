@@ -1,6 +1,7 @@
 #include "host/fleet.hpp"
 
 #include <algorithm>
+#include <iostream>
 
 namespace tmo::host
 {
@@ -24,33 +25,51 @@ Fleet::Fleet(const FleetSpec &spec)
     *this = spec.build();
 }
 
-Host &
-Fleet::addHost(const HostBuilder &builder)
+void
+Fleet::buildShard(Shard &shard)
 {
-    HostConfig config = builder.hostConfig();
-    config.seed = mixSeed(config.seed, shards_.size());
+    HostConfig config = shard.builder.hostConfig();
+    // Always the ORIGINAL host index: a rebuilt host replays the same
+    // deterministic life its first incarnation had.
+    config.seed = mixSeed(config.seed, shard.index);
 
-    Shard shard;
+    // On a restart rebuild, the old host must die while its clock is
+    // still alive: controller destructors cancel their timers on the
+    // simulation they were scheduled on.
+    shard.host.reset();
     shard.sim = std::make_unique<sim::Simulation>();
     const std::string name =
-        builder.hostName().empty()
-            ? "host" + std::to_string(shards_.size())
-            : builder.hostName();
+        shard.builder.hostName().empty()
+            ? "host" + std::to_string(shard.index)
+            : shard.builder.hostName();
     shard.host = std::make_unique<Host>(*shard.sim, config, name);
-    for (auto &spec : builder.resolvedApps()) {
+    for (auto &spec : shard.builder.resolvedApps()) {
         auto &app = spec.useTiers
                         ? shard.host->addApp(spec.profile, spec.tiers)
                         : shard.host->addApp(spec.profile, spec.mode);
         app.cgroup().setPriority(spec.priority);
     }
-    if (builder.controllerFactory())
+    if (shard.builder.controllerFactory()) {
         shard.host->setController(
-            builder.controllerFactory()(*shard.host));
+            shard.builder.controllerFactory()(*shard.host));
+        // Same recipe doubles as the controller watchdog's rebuild
+        // path after a CONTROLLER_CRASH fault.
+        shard.host->setControllerFactory(
+            shard.builder.controllerFactory());
+    }
     if (traceBytesPerHost_)
         shard.host->enableTracing(traceBytesPerHost_);
     if (metricsInterval_)
         shard.host->enableMetrics(metricsInterval_);
+}
 
+Host &
+Fleet::addHost(const HostBuilder &builder)
+{
+    Shard shard;
+    shard.builder = builder;
+    shard.index = shards_.size();
+    buildShard(shard);
     shards_.push_back(std::move(shard));
     return *shards_.back().host;
 }
@@ -159,9 +178,11 @@ Fleet::run(sim::SimTime deadline, unsigned jobs)
             } catch (const std::exception &error) {
                 shard.failed = true;
                 shard.error = error.what();
+                shard.failedAt = target;
             } catch (...) {
                 shard.failed = true;
                 shard.error = "unknown error";
+                shard.failedAt = target;
             }
         };
         if (parallel) {
@@ -171,6 +192,103 @@ Fleet::run(sim::SimTime deadline, unsigned jobs)
                 step(i);
         }
         now_ = target;
+        // Recovery decisions live at the barrier, on the calling
+        // thread, in shard-index order: the only cross-shard state
+        // (restart counters, audit log) is touched deterministically.
+        restartEligibleShards();
+        if (audit_)
+            auditShards();
+    }
+}
+
+void
+Fleet::restartEligibleShards()
+{
+    if (restart_.maxAttempts == 0)
+        return;
+    for (auto &shard : shards_) {
+        if (!shard.failed ||
+            shard.restartAttempts >= restart_.maxAttempts)
+            continue;
+        // Exponential backoff in sim-time, capped.
+        double wait = static_cast<double>(restart_.backoff);
+        for (unsigned i = 0; i < shard.restartAttempts; ++i)
+            wait *= restart_.multiplier;
+        if (restart_.maxBackoff)
+            wait = std::min(
+                wait, static_cast<double>(restart_.maxBackoff));
+        if (static_cast<double>(now_ - shard.failedAt) < wait)
+            continue;
+
+        ++shard.restartAttempts;
+        // Rebuild from the stored recipe (dropping the dead host and
+        // its frozen clock), fast-forward the empty queue to the
+        // fleet clock, then start services as Fleet::start() would —
+        // every periodic tick lands on now_ + period.
+        buildShard(shard);
+        shard.sim->runUntil(now_);
+        shard.host->start();
+        for (const auto &app : shard.host->apps())
+            app->start();
+        if (shard.host->controller())
+            shard.host->controller()->start();
+        shard.failed = false;
+        shard.error.clear();
+        ++restartedCount_;
+        if (restartHook_)
+            restartHook_(shard.index, *shard.host);
+    }
+}
+
+void
+Fleet::auditShards()
+{
+    // Bounded log: a systematically broken invariant would otherwise
+    // flood memory over a long soak.
+    constexpr std::size_t MAX_VIOLATIONS = 16;
+    for (auto &shard : shards_) {
+        if (shard.failed)
+            continue;
+        if (auditViolations_.size() >= MAX_VIOLATIONS)
+            return;
+        const auto violations = audit_(*shard.host);
+        if (violations.empty())
+            continue;
+        for (const auto &violation : violations) {
+            if (auditViolations_.size() >= MAX_VIOLATIONS)
+                break;
+            auditViolations_.push_back(shard.host->name() + ": " +
+                                       violation);
+        }
+        if (!auditDumped_) {
+            auditDumped_ = true;
+            dumpTraceExcerpt(shard);
+        }
+    }
+}
+
+void
+Fleet::dumpTraceExcerpt(const Shard &shard) const
+{
+    std::cerr << "invariant violation on " << shard.host->name()
+              << " at t=" << sim::toSeconds(now_) << "s\n";
+    const obs::TraceRing *ring = shard.host->trace();
+    if (!ring) {
+        std::cerr << "  (tracing off; no event excerpt)\n";
+        return;
+    }
+    const auto events = ring->snapshot();
+    constexpr std::size_t EXCERPT = 20;
+    const std::size_t first =
+        events.size() > EXCERPT ? events.size() - EXCERPT : 0;
+    for (std::size_t i = first; i < events.size(); ++i) {
+        const auto &event = events[i];
+        std::cerr << "  t=" << sim::toSeconds(event.time) << "s "
+                  << obs::traceEventTypeName(event.type)
+                  << " code=" << static_cast<unsigned>(event.code)
+                  << " domain=" << event.domain << " a0="
+                  << event.args[0] << " a1=" << event.args[1]
+                  << "\n";
     }
 }
 
@@ -183,13 +301,32 @@ Fleet::failedCount() const
     return count;
 }
 
+std::size_t
+Fleet::permanentlyFailedCount() const
+{
+    std::size_t count = 0;
+    for (const auto &shard : shards_)
+        if (shard.failed &&
+            (restart_.maxAttempts == 0 ||
+             shard.restartAttempts >= restart_.maxAttempts))
+            ++count;
+    return count;
+}
+
 std::vector<double>
 Fleet::collect(const std::function<double(Host &)> &metric)
 {
     std::vector<double> values;
     values.reserve(shards_.size());
-    for (auto &shard : shards_)
+    // Failed hosts are frozen at their failure time; folding them
+    // into a fleet percentile would mix stale samples into a
+    // distribution taken "now". Skip them — availability is reported
+    // separately via failedCount().
+    for (auto &shard : shards_) {
+        if (shard.failed)
+            continue;
         values.push_back(metric(*shard.host));
+    }
     return values;
 }
 

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -83,7 +84,9 @@ class Fleet
      * True when host @p i threw out of its event loop. A failed host
      * is frozen at the time of its failure and skipped by later
      * epochs; the rest of the fleet keeps running (one bad host must
-     * not abort a fleet experiment, §4 operational stance).
+     * not abort a fleet experiment, §4 operational stance). With a
+     * RestartPolicy the fleet rebuilds the host from its builder
+     * recipe at a later epoch boundary, clearing this flag.
      */
     bool hostFailed(std::size_t i) const { return shards_[i].failed; }
 
@@ -96,6 +99,61 @@ class Fleet
 
     /** Number of hosts currently failed. */
     std::size_t failedCount() const;
+
+    // --- self-healing -----------------------------------------------------
+
+    /** Host restart policy (default: maxAttempts = 0, disabled). */
+    void setRestartPolicy(const RestartPolicy &policy)
+    {
+        restart_ = policy;
+    }
+    const RestartPolicy &restartPolicy() const { return restart_; }
+
+    /** Hosts rebuilt after a failure so far (counts every rebuild,
+     *  including repeat failures of the same shard). */
+    std::uint64_t restartedCount() const { return restartedCount_; }
+
+    /**
+     * Hosts that are failed AND out of restart budget: with restarts
+     * disabled every failed host is permanent; otherwise a host whose
+     * attempts reached maxAttempts stays down for good.
+     */
+    std::size_t permanentlyFailedCount() const;
+
+    /**
+     * Called (main thread, epoch barrier, shard-index order) right
+     * after a host is rebuilt and restarted — the hook for tools to
+     * re-attach per-host state such as fault injectors. Only events
+     * scheduled after now() should be re-armed: FaultInjector::arm
+     * fires past events immediately.
+     */
+    void onHostRestart(std::function<void(std::size_t, Host &)> hook)
+    {
+        restartHook_ = std::move(hook);
+    }
+
+    /** Per-host invariant audit result: a list of violation strings
+     *  (empty = clean). */
+    using AuditFn = std::function<std::vector<std::string>(Host &)>;
+
+    /**
+     * Run @p audit on every healthy host after every epoch barrier
+     * (and after restarts), accumulating host-prefixed violation
+     * strings. On the first violation a trace-ring excerpt of the
+     * offending host is dumped to stderr. The fault library's
+     * auditHost() is the intended auditor; the hook is generic so the
+     * host layer stays below the fault layer.
+     */
+    void enableInvariantAudit(AuditFn audit)
+    {
+        audit_ = std::move(audit);
+    }
+
+    /** Violations collected so far (capped; empty = clean run). */
+    const std::vector<std::string> &auditViolations() const
+    {
+        return auditViolations_;
+    }
 
     /** The shard clock owning host @p i. */
     sim::Simulation &simulationOf(std::size_t i)
@@ -141,11 +199,34 @@ class Fleet
     struct Shard {
         std::unique_ptr<sim::Simulation> sim;
         std::unique_ptr<Host> host;
+        /** The recipe that built this host — kept so a restart can
+         *  stamp an identical replacement (same mixed seed). */
+        HostBuilder builder;
+        /** Original host index; seeds mix THIS index on rebuild. */
+        std::size_t index = 0;
         /** Set when the host's event loop threw; the shard is then
          *  excluded from further epochs. */
         bool failed = false;
         std::string error;
+        /** Epoch barrier at which the failure was observed. */
+        sim::SimTime failedAt = 0;
+        /** Rebuilds consumed from the restart budget. */
+        unsigned restartAttempts = 0;
     };
+
+    /** (Re)materialize shard state from its stored builder: fresh
+     *  clock, host, containers, controller, observability. */
+    void buildShard(Shard &shard);
+
+    /** Rebuild failed shards whose backoff elapsed (epoch barrier). */
+    void restartEligibleShards();
+
+    /** Run the invariant auditor over every healthy shard. */
+    void auditShards();
+
+    /** Print the tail of a shard's trace ring to stderr (first
+     *  invariant violation only). */
+    void dumpTraceExcerpt(const Shard &shard) const;
 
     sim::SimTime epoch_ = sim::MINUTE;
     sim::SimTime now_ = 0;
@@ -155,6 +236,13 @@ class Fleet
     sim::SimTime metricsInterval_ = 0;
     std::vector<Shard> shards_;
     std::unique_ptr<sim::ShardedExecutor> executor_;
+    RestartPolicy restart_;
+    std::uint64_t restartedCount_ = 0;
+    std::function<void(std::size_t, Host &)> restartHook_;
+    AuditFn audit_;
+    std::vector<std::string> auditViolations_;
+    /** First violation already dumped a trace excerpt to stderr. */
+    bool auditDumped_ = false;
 };
 
 } // namespace tmo::host

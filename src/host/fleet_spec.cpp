@@ -57,6 +57,7 @@ FleetSpec::build() const
 {
     Fleet fleet;
     fleet.setEpoch(epoch_);
+    fleet.setRestartPolicy(restart_);
     for (std::size_t i = 0; i < hosts_; ++i) {
         HostBuilder builder = proto_;
         if (builder.hostName().empty())

@@ -40,12 +40,27 @@ namespace tmo::host
 
 class Fleet;
 
+// ControllerFactory lives in host/host.hpp (included above): the
+// Host's controller watchdog uses the same recipe the builder does.
+
 /**
- * Builds one host's controller once the host (and its containers)
- * exist. May return nullptr for "no controller".
+ * How the fleet rebuilds a host whose event loop threw (HOST_CRASH
+ * faults, workload bugs). Disabled by default (maxAttempts = 0):
+ * a failed host then stays quarantined forever, the pre-self-healing
+ * behaviour. Restarts happen only at epoch barriers, on the main
+ * thread, in shard-index order — so recovery is bit-identical for any
+ * `--jobs N`.
  */
-using ControllerFactory =
-    std::function<std::unique_ptr<core::Controller>(Host &)>;
+struct RestartPolicy {
+    /** Rebuild attempts per host; 0 disables restarts. */
+    unsigned maxAttempts = 0;
+    /** Wait after a failure before the first rebuild (sim-time). */
+    sim::SimTime backoff = 30 * sim::SEC;
+    /** Backoff growth per consecutive failure of the same host. */
+    double multiplier = 2.0;
+    /** Backoff ceiling; 0 = uncapped. */
+    sim::SimTime maxBackoff = 10 * sim::MINUTE;
+};
 
 /** Declarative description of one container on a host. */
 struct AppSpec {
@@ -281,6 +296,14 @@ class FleetSpec
         return *this;
     }
 
+    /** Host restart policy for the built fleet (default: disabled). */
+    FleetSpec &
+    restart(const RestartPolicy &policy)
+    {
+        restart_ = policy;
+        return *this;
+    }
+
     /** Direct access to the prototype host description. */
     HostBuilder &prototype() { return proto_; }
     const HostBuilder &prototype() const { return proto_; }
@@ -310,6 +333,7 @@ class FleetSpec
     std::size_t hostCount() const { return hosts_; }
     sim::SimTime epochLength() const { return epoch_; }
     const std::string &namePrefix() const { return prefix_; }
+    const RestartPolicy &restartPolicy() const { return restart_; }
     const std::function<void(std::size_t, HostBuilder &)> &
     customizer() const
     {
@@ -325,6 +349,7 @@ class FleetSpec
     std::string prefix_ = "host";
     HostBuilder proto_;
     std::function<void(std::size_t, HostBuilder &)> customize_;
+    RestartPolicy restart_;
 };
 
 } // namespace tmo::host

@@ -333,6 +333,41 @@ Host::setController(std::unique_ptr<core::Controller> controller)
 }
 
 void
+Host::crashController(sim::SimTime restart_delay)
+{
+    if (!controller_)
+        return;
+    // The crash kills the daemon process: stop and destroy the
+    // object. Distinct from CONTROLLER_STALL, which suspends the same
+    // object and resumes it with its state intact.
+    controller_->stop();
+    controller_.reset();
+    controllerRestartAt_ = sim_.now() + restart_delay;
+    if (controllerFactory_ && !watchdogArmed_) {
+        // Armed lazily on the first crash: fault-free runs keep an
+        // event queue byte-identical to pre-watchdog builds.
+        watchdogArmed_ = true;
+        sim_.every(sim::SEC, [this] {
+            watchdogTick();
+            return true;
+        });
+    }
+}
+
+void
+Host::watchdogTick()
+{
+    if (controller_ || !controllerFactory_ ||
+        sim_.now() < controllerRestartAt_)
+        return;
+    setController(controllerFactory_(*this));
+    if (controller_) {
+        ++controllerRestarts_;
+        controller_->start();
+    }
+}
+
+void
 Host::setTiers(cgroup::Cgroup &cg, const tier::TierChainSpec &tiers)
 {
     tier::TierChain *chain = buildChain(tiers, /*legacy=*/false);

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -63,6 +64,16 @@ enum class AnonMode {
 
 /** The tier chain an AnonMode shims onto ("none" for NONE). */
 tier::TierChainSpec shimChainSpec(AnonMode mode);
+
+class Host;
+
+/**
+ * Builds one host's controller once the host (and its containers)
+ * exist. May return nullptr for "no controller". Doubles as the
+ * controller watchdog's rebuild recipe after a crash fault.
+ */
+using ControllerFactory =
+    std::function<std::unique_ptr<core::Controller>(Host &)>;
 
 /** Host hardware/software configuration. */
 struct HostConfig {
@@ -145,6 +156,40 @@ class Host
     /** The host's controller, or nullptr. */
     core::Controller *controller() { return controller_.get(); }
 
+    /**
+     * Remember how to rebuild the controller (normally the same
+     * factory that built it). With a factory installed,
+     * crashController() destroys the controller object and a watchdog
+     * re-creates it from the recipe once the outage elapses —
+     * mid-run self-healing instead of resurrecting dead state.
+     */
+    void
+    setControllerFactory(ControllerFactory factory)
+    {
+        controllerFactory_ = std::move(factory);
+    }
+
+    const ControllerFactory &controllerFactory() const
+    {
+        return controllerFactory_;
+    }
+
+    /**
+     * Crash the controller daemon: stop it, destroy the object, and
+     * (when a factory is installed) let the watchdog rebuild and
+     * re-attach it no earlier than @p restart_delay from now. The
+     * watchdog tick is armed lazily on the first crash, so fault-free
+     * event queues are untouched. Without a factory the controller is
+     * simply gone — quarantine-only behaviour.
+     */
+    void crashController(sim::SimTime restart_delay);
+
+    /** Controllers rebuilt by the watchdog so far. */
+    std::uint64_t controllerRestarts() const
+    {
+        return controllerRestarts_;
+    }
+
     // --- observability ---------------------------------------------------
 
     /**
@@ -218,6 +263,10 @@ class Host
     void scheduleTierMaintenance(cgroup::Cgroup &cg,
                                  tier::TierChain *chain);
 
+    /** One watchdog tick: rebuild a crashed controller via the
+     *  factory once its restart time has been reached. */
+    void watchdogTick();
+
     sim::Simulation &sim_;
     HostConfig config_;
     std::string name_;
@@ -244,6 +293,13 @@ class Host
     std::vector<std::unique_ptr<tier::TierChain>> chains_;
     /** Cgroups with a maintenance tick already scheduled. */
     std::vector<const cgroup::Cgroup *> maintScheduled_;
+    /** Controller rebuild recipe (see setControllerFactory). */
+    ControllerFactory controllerFactory_;
+    /** Earliest time the watchdog may rebuild a crashed controller. */
+    sim::SimTime controllerRestartAt_ = 0;
+    /** The watchdog tick is scheduled (armed on the first crash). */
+    bool watchdogArmed_ = false;
+    std::uint64_t controllerRestarts_ = 0;
     bool started_ = false;
 };
 

@@ -10,6 +10,16 @@
 namespace tmo::mem
 {
 
+namespace
+{
+
+/** Stall for a major fault on a LOST page: the kernel retries the
+ *  read against the dead tier, times out, and zero-fills — a fixed,
+ *  deterministic penalty far above any healthy device latency. */
+constexpr std::uint64_t LOST_REFAULT_PENALTY_US = 50'000;
+
+} // namespace
+
 MemoryManager::MemoryManager(MemoryConfig config, std::uint64_t seed)
     : config_(config), rng_(seed)
 {
@@ -438,6 +448,23 @@ MemoryManager::access(PageIdx idx, sim::SimTime now)
         }
         break;
       }
+      case Where::LOST: {
+        // The only copy died with its evacuated tier. The kernel's
+        // IO-error path times out and hands the task a fresh
+        // zero-filled page: a hard major fault, far costlier than any
+        // healthy device read, and pure memory stall (no device IO).
+        assert(mcg.lostPages > 0);
+        --mcg.lostPages;
+        ++mcg.cg->stats().lostRefault;
+        result.memStall +=
+            sim::fromUsec(static_cast<double>(LOST_REFAULT_PENALTY_US));
+        if (page.isAnon() && mcg.anonChain)
+            touchHeat(page, heatEpochAt(now, config_.heatDecayPeriod),
+                      2);
+        target = page.isAnon() ? LruKind::INACTIVE_ANON
+                               : LruKind::INACTIVE_FILE;
+        break;
+      }
       case Where::RAM:
         break; // unreachable
     }
@@ -475,6 +502,10 @@ MemoryManager::freePage(PageIdx idx)
                                                  page.storedBytes);
         break;
       case Where::FS:
+        break;
+      case Where::LOST:
+        assert(mcg.lostPages > 0);
+        --mcg.lostPages;
         break;
     }
     mcg.ages.remove(pages_, idx);
@@ -666,6 +697,31 @@ MemoryManager::tierMovePage(MemCg &mcg, PageIdx idx, Page &page,
     return load.latency + cs.result.latency;
 }
 
+void
+MemoryManager::losePage(MemCg &mcg, PageIdx idx, Page &page)
+{
+    // Drop the dead copy's accounting but keep the logical page alive
+    // (still on the age list): the loss is explicit — the next access
+    // is a hard major fault, never silent corruption.
+    tierListRemove(mcg, idx, page);
+    if (page.store < backends_.size())
+        backends_[page.store]->release(page.storedBytes);
+    if (page.where == Where::ZSWAP) {
+        mcg.zswapBytes -= std::min<std::uint64_t>(mcg.zswapBytes,
+                                                  page.storedBytes);
+        mcg.cg->uncharge(page.storedBytes);
+    } else if (page.where == Where::SWAP) {
+        mcg.swapBytes -= std::min<std::uint64_t>(mcg.swapBytes,
+                                                 page.storedBytes);
+    }
+    page.where = Where::LOST;
+    page.store = 0xff;
+    page.storedBytes = 0;
+    page.shadowAge = 0;
+    ++mcg.lostPages;
+    ++mcg.cg->stats().tierLost;
+}
+
 TierMaintainOutcome
 MemoryManager::tierMaintain(cgroup::Cgroup &cg, sim::SimTime now)
 {
@@ -680,6 +736,43 @@ MemoryManager::tierMaintain(cgroup::Cgroup &cg, sim::SimTime now)
     const std::uint32_t batch = chain->config().scanBatch;
     std::uint64_t budget = chain->config().moveBudgetBytes;
     std::uint64_t scanned = 0;
+
+    // Evacuation pass (runs first — saving data from a dying tier
+    // outranks rebalancing): re-evaluate tier health, then drain
+    // every evacuating tier's list to whatever survivor accepts the
+    // pages, within the same move budget. A page no survivor takes is
+    // declared LOST: the copy is gone, but the loss is accounted and
+    // the next access faults hard instead of corrupting silently.
+    chain->updateHealth(now);
+    for (std::size_t i = 0;
+         i < chain->size() && budget >= config_.pageBytes; ++i) {
+        if (!chain->tierEvacuating(i))
+            continue;
+        std::uint32_t examined = 0;
+        PageIdx cur = mcg.tierLists[i].tail();
+        while (cur != NO_PAGE && examined < batch &&
+               budget >= config_.pageBytes) {
+            Page &page = pages_[cur];
+            const PageIdx warmer = page.prev;
+            ++examined;
+            ++scanned;
+            const auto latency = tierMovePage(mcg, cur, page, i, 0,
+                                              chain->size(), now);
+            if (latency == NO_MOVE) {
+                losePage(mcg, cur, page);
+                ++outcome.lostPages;
+                chain->noteLost(1);
+            } else {
+                ++outcome.evacuatedPages;
+                outcome.movedBytes += config_.pageBytes;
+                outcome.deviceTime += latency;
+                budget -= config_.pageBytes;
+                ++mcg.cg->stats().tierEvacuate;
+                chain->noteEvacuate(1);
+            }
+            cur = warmer;
+        }
+    }
 
     // Demote pass: walk each tier's list from the tail (oldest
     // stores, coldest by construction) and push pages whose decayed
@@ -752,14 +845,18 @@ MemoryManager::tierMaintain(cgroup::Cgroup &cg, sim::SimTime now)
 
     outcome.cpuTime = sim::fromUsec(static_cast<double>(scanned) *
                                     config_.reclaimUsPerPage);
-    if (trace_ && (outcome.demotedPages || outcome.promotedPages)) {
+    if (trace_ &&
+        (outcome.demotedPages || outcome.promotedPages ||
+         outcome.evacuatedPages || outcome.lostPages)) {
         trace_->record(now, obs::TraceEventType::TIER_MOVE, 0,
                        static_cast<std::uint16_t>(mcg.cg->id()),
                        {static_cast<double>(outcome.demotedPages),
                         static_cast<double>(outcome.promotedPages),
                         static_cast<double>(outcome.movedBytes),
                         sim::toUsec(outcome.deviceTime),
-                        sim::toUsec(outcome.cpuTime)});
+                        sim::toUsec(outcome.cpuTime),
+                        static_cast<double>(outcome.evacuatedPages),
+                        static_cast<double>(outcome.lostPages)});
     }
     return outcome;
 }

@@ -121,6 +121,10 @@ struct TierMaintainOutcome {
     /** Pages moved up the chain (hot but stuck low after an earlier
      *  fall-through). */
     std::uint64_t promotedPages = 0;
+    /** Pages drained off evacuating (offline / long-FAILED) tiers. */
+    std::uint64_t evacuatedPages = 0;
+    /** Pages whose only copy died with an unsavable tier. */
+    std::uint64_t lostPages = 0;
     /** Uncompressed bytes moved (counts against the chain budget). */
     std::uint64_t movedBytes = 0;
     /** Device time consumed by the moves (store + load latencies). */
@@ -207,6 +211,8 @@ struct MemCg {
     std::uint64_t swapBytes = 0;
     /** Pages the backend refused (incompressible / swap full). */
     std::uint64_t storeRejects = 0;
+    /** Pages currently in Where::LOST (copy died with its tier). */
+    std::uint64_t lostPages = 0;
 };
 
 /**
@@ -369,10 +375,27 @@ class MemoryManager
 
     /** The page table (tests and benches). */
     std::vector<Page> &pages() { return pages_; }
+    const std::vector<Page> &pages() const { return pages_; }
 
     /** Per-cgroup state; cg must be attached. */
     MemCg &memcgOf(const cgroup::Cgroup &cg);
     const MemCg &memcgOf(const cgroup::Cgroup &cg) const;
+
+    // --- invariant-auditor views (read-only) ------------------------------
+
+    /** Attached memcgs, in attach order (invariant auditing). */
+    std::size_t memcgCount() const { return memcgs_.size(); }
+    const MemCg &memcgAt(std::size_t i) const { return *memcgs_[i]; }
+
+    /** Every backend pages can reference via Page::store. */
+    const std::vector<backend::OffloadBackend *> &
+    backendRegistry() const
+    {
+        return backends_;
+    }
+
+    /** Global resident-page count (must equal the LRU sums). */
+    std::uint64_t residentPages() const { return residentPages_; }
 
     /** Record a RECLAIM_PASS event (anon/file split, cost balance)
      *  per shrink pass into @p ring; nullptr detaches. */
@@ -421,6 +444,14 @@ class MemoryManager
     sim::SimTime tierMovePage(MemCg &mcg, PageIdx idx, Page &page,
                               std::size_t from, std::size_t target,
                               std::size_t stop, sim::SimTime now);
+
+    /**
+     * Declare an offloaded page's copy unrecoverable (its tier is
+     * being evacuated and no survivor accepted it): release the dead
+     * tier's accounting and park the page in Where::LOST, where the
+     * next access is a hard major fault instead of silent corruption.
+     */
+    void losePage(MemCg &mcg, PageIdx idx, Page &page);
 
     MemoryConfig config_;
     sim::Rng rng_;

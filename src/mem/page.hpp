@@ -35,6 +35,10 @@ enum class Where : std::uint8_t {
     SWAP,
     /** File page not in the page cache (only on the filesystem). */
     FS,
+    /** The page's only copy died with an unsavable tier: the next
+     *  access is a hard major fault that re-creates the page
+     *  (zero-fill after an IO error). */
+    LOST,
 };
 
 /** Page flag bits. */

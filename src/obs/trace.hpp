@@ -64,7 +64,8 @@ enum class TraceEventType : std::uint8_t {
     CONTROLLER,
     /** One background tier-maintenance pass moved pages between chain
      *  tiers. domain = cgroup id, a0 = pages demoted, a1 = pages
-     *  promoted, a2 = bytes moved, a3 = device us, a4 = cpu us. */
+     *  promoted, a2 = bytes moved, a3 = device us, a4 = cpu us,
+     *  a5 = pages evacuated off dying tiers, a6 = pages lost. */
     TIER_MOVE,
 };
 

@@ -12,7 +12,7 @@ TierChain::TierChain(std::string name,
                      TierChainConfig config, std::vector<TierSpec> specs)
     : name_(std::move(name)), tiers_(std::move(tiers)),
       config_(config), specs_(std::move(specs)),
-      offline_(tiers_.size(), false)
+      offline_(tiers_.size(), false), health_(tiers_.size())
 {
     if (tiers_.empty())
         throw std::invalid_argument("tier chain needs at least one tier");
@@ -110,7 +110,9 @@ TierChain::storeFrom(std::size_t start, std::size_t stop,
     StoreOutcome outcome;
     stop = std::min(stop, tiers_.size());
     for (std::size_t i = start; i < stop; ++i) {
-        if (offline_[i])
+        if (offline_[i] || health_[i].evacuating)
+            continue;
+        if (!admitForStore(i, now))
             continue;
         outcome.tier = tiers_[i];
         outcome.tierIndex = static_cast<int>(i);
@@ -162,8 +164,83 @@ TierChain::tierToken(std::size_t i) const
 void
 TierChain::setTierOffline(std::size_t i, bool offline)
 {
-    if (i < offline_.size())
-        offline_[i] = offline;
+    if (i >= offline_.size())
+        return;
+    // Clock-less transition: instant in both directions, no
+    // evacuation mark and no readmission ramp (legacy semantics).
+    offline_[i] = offline;
+    health_[i] = TierHealth{};
+}
+
+void
+TierChain::setTierOffline(std::size_t i, bool offline, sim::SimTime now)
+{
+    if (i >= offline_.size())
+        return;
+    offline_[i] = offline;
+    auto &health = health_[i];
+    if (offline) {
+        // The next maintenance pass starts draining immediately; no
+        // grace window for an administratively offline tier.
+        health.evacuating = true;
+        health.readmitStart = NEVER;
+        health.admitSeen = health.admitTaken = 0;
+    } else {
+        health.evacuating = false;
+        health.failedSince = NEVER;
+        if (config_.readmitWindow > 0) {
+            health.readmitStart = now;
+            health.admitSeen = health.admitTaken = 0;
+        }
+    }
+}
+
+void
+TierChain::updateHealth(sim::SimTime now)
+{
+    for (std::size_t i = 0; i < tiers_.size(); ++i) {
+        auto &health = health_[i];
+        if (offline_[i]) {
+            health.evacuating = true;
+            continue;
+        }
+        if (tiers_[i]->status() == backend::BackendStatus::FAILED) {
+            if (health.failedSince == NEVER)
+                health.failedSince = now;
+            if (now >= health.failedSince + config_.failGraceWindow)
+                health.evacuating = true;
+        } else {
+            // Recovered (or never sick): stop any drain in progress.
+            health.failedSince = NEVER;
+            health.evacuating = false;
+        }
+    }
+}
+
+bool
+TierChain::admitForStore(std::size_t i, sim::SimTime now)
+{
+    auto &health = health_[i];
+    if (health.readmitStart == NEVER)
+        return true;
+    if (config_.readmitWindow == 0 ||
+        now >= health.readmitStart + config_.readmitWindow) {
+        health.readmitStart = NEVER;
+        health.admitSeen = health.admitTaken = 0;
+        return true;
+    }
+    // Admit the elapsed-window fraction of offered stores; counters
+    // (not RNG) keep the thinning bit-deterministic.
+    ++health.admitSeen;
+    const double fraction =
+        static_cast<double>(now - health.readmitStart) /
+        static_cast<double>(config_.readmitWindow);
+    if (static_cast<double>(health.admitTaken) <
+        fraction * static_cast<double>(health.admitSeen)) {
+        ++health.admitTaken;
+        return true;
+    }
+    return false;
 }
 
 } // namespace tmo::tier

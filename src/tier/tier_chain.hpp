@@ -67,6 +67,20 @@ struct TierChainConfig {
     sim::SimTime movePeriod = 6 * sim::SEC;
     /** Pages examined per tier per maintenance pass. */
     std::uint32_t scanBatch = 64;
+    /**
+     * A tier observed FAILED continuously for this long is evacuated:
+     * maintenance drains its pages to surviving tiers within the move
+     * budget (retry budgets get a flaky device this long to recover
+     * first). Chain-level offline tiers evacuate immediately.
+     */
+    sim::SimTime failGraceWindow = 30 * sim::SEC;
+    /**
+     * After a tier comes back online its store admission ramps up
+     * linearly over this window instead of instantly taking full
+     * load (0 = instant readmission). Only admission is throttled;
+     * status and loads are unaffected.
+     */
+    sim::SimTime readmitWindow = 20 * sim::SEC;
 };
 
 /**
@@ -184,9 +198,41 @@ class TierChain : public backend::OffloadBackend
 
     /** Mark one tier offline: placement and fall-through skip it and
      *  it reports FAILED into the aggregate status. Pages already
-     *  stored there stay until faulted back (like a capped pool). */
+     *  stored there stay until faulted back or evacuated. This
+     *  clock-less overload transitions instantly (no readmission
+     *  ramp) — kept for tests and legacy callers. */
     void setTierOffline(std::size_t i, bool offline);
+
+    /** setTierOffline() on the shard clock: going offline starts the
+     *  evacuation drain at the next maintenance pass; coming back
+     *  online starts the gradual readmission ramp at @p now. */
+    void setTierOffline(std::size_t i, bool offline, sim::SimTime now);
+
     bool tierOffline(std::size_t i) const { return offline_[i]; }
+
+    // --- self-healing (fed by MemoryManager::tierMaintain) ------------
+
+    /**
+     * Re-evaluate per-tier health at @p now: an offline tier is
+     * marked for evacuation immediately, a tier FAILED continuously
+     * past failGraceWindow likewise; a tier that recovered clears its
+     * evacuation mark. Called at the top of every maintenance pass.
+     */
+    void updateHealth(sim::SimTime now);
+
+    /** True when tier @p i should be drained to the survivors. */
+    bool tierEvacuating(std::size_t i) const
+    {
+        return health_[i].evacuating;
+    }
+
+    void noteEvacuate(std::uint64_t pages) { evacuatedPages_ += pages; }
+    void noteLost(std::uint64_t pages) { lostPages_ += pages; }
+
+    /** Pages drained off evacuating tiers so far. */
+    std::uint64_t evacuatedPages() const { return evacuatedPages_; }
+    /** Pages whose only copy died with its tier. */
+    std::uint64_t lostPages() const { return lostPages_; }
 
     // --- movement accounting (fed by MemoryManager::tierMaintain) ----
 
@@ -218,11 +264,34 @@ class TierChain : public backend::OffloadBackend
     }
 
   private:
+    /** "not set" marker for the health timestamps below. */
+    static constexpr sim::SimTime NEVER = ~sim::SimTime{0};
+
+    /** Per-tier recovery state. */
+    struct TierHealth {
+        /** First time the tier was observed FAILED (NEVER = healthy). */
+        sim::SimTime failedSince = NEVER;
+        /** Drain this tier's pages to the survivors. */
+        bool evacuating = false;
+        /** Readmission ramp start (NEVER = no ramp active). */
+        sim::SimTime readmitStart = NEVER;
+        /** Stores offered / admitted during the current ramp. */
+        std::uint64_t admitSeen = 0;
+        std::uint64_t admitTaken = 0;
+    };
+
+    /** Admission decision during a readmission ramp: deterministic
+     *  counter-based thinning toward the elapsed-window fraction. */
+    bool admitForStore(std::size_t i, sim::SimTime now);
+
     std::string name_;
     std::vector<backend::OffloadBackend *> tiers_;
     TierChainConfig config_;
     std::vector<TierSpec> specs_;
     std::vector<bool> offline_;
+    std::vector<TierHealth> health_;
+    std::uint64_t evacuatedPages_ = 0;
+    std::uint64_t lostPages_ = 0;
     std::uint64_t demotedPages_ = 0;
     std::uint64_t promotedPages_ = 0;
     stats::Histogram demoteLatencyUs_{0.1, 1e7, 10};

@@ -15,7 +15,16 @@
  * number inserted before the extension (soak.jsonl -> soak.3.jsonl),
  * so a failing seed's event history is on disk when it escapes.
  *
- * Exit status: 0 when every seed completed, 1 on any escape.
+ * Self-healing knobs:
+ *   --storm                add a host-crash + controller-crash to
+ *                          every host's plan (crash-storm scenario)
+ *   --restart-max N        rebuild failed hosts up to N times
+ *   --restart-backoff-sec  first-restart backoff (doubles per repeat)
+ *   --no-audit             skip the per-epoch invariant auditor
+ *
+ * Exit status: 0 when every seed completed with no permanently failed
+ * host and a clean audit; 1 otherwise (per-host errors and audit
+ * violations go to stderr).
  */
 
 #include <cstdint>
@@ -27,6 +36,7 @@
 
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
+#include "fault/invariant_auditor.hpp"
 #include "host/controller_registry.hpp"
 #include "host/fleet.hpp"
 #include "obs/export.hpp"
@@ -47,6 +57,10 @@ struct Options {
     std::uint64_t traceBufferMb = 8;
     std::string metricsFile;
     int metricsIntervalSec = 6;
+    unsigned restartMax = 0;
+    int restartBackoffSec = 30;
+    bool storm = false;
+    bool audit = true;
 };
 
 void
@@ -57,7 +71,9 @@ usage()
                  "                  [--trace FILE] "
                  "[--trace-buffer-mb N]\n"
                  "                  [--metrics-out FILE] "
-                 "[--metrics-interval-sec N]\n";
+                 "[--metrics-interval-sec N]\n"
+                 "                  [--storm] [--restart-max N] "
+                 "[--restart-backoff-sec N] [--no-audit]\n";
 }
 
 /** soak.jsonl + seed 3 -> soak.3.jsonl (suffix when no extension). */
@@ -80,6 +96,14 @@ parse(int argc, char **argv, Options &options)
         const std::string flag = argv[i];
         if (flag == "--help" || flag == "-h")
             return false;
+        if (flag == "--storm") {
+            options.storm = true;
+            continue;
+        }
+        if (flag == "--no-audit") {
+            options.audit = false;
+            continue;
+        }
         if (i + 1 >= argc) {
             std::cerr << "chaos_soak: missing value for " << flag
                       << "\n";
@@ -104,6 +128,11 @@ parse(int argc, char **argv, Options &options)
             options.metricsFile = value;
         } else if (flag == "--metrics-interval-sec") {
             options.metricsIntervalSec = std::stoi(value);
+        } else if (flag == "--restart-max") {
+            options.restartMax =
+                static_cast<unsigned>(std::stoul(value));
+        } else if (flag == "--restart-backoff-sec") {
+            options.restartBackoffSec = std::stoi(value);
         } else {
             std::cerr << "chaos_soak: unknown flag: " << flag << "\n";
             return false;
@@ -119,6 +148,11 @@ parse(int argc, char **argv, Options &options)
         options.metricsIntervalSec <= 0) {
         std::cerr << "chaos_soak: --trace-buffer-mb/"
                      "--metrics-interval-sec must be >= 1\n";
+        return false;
+    }
+    if (options.restartBackoffSec < 0) {
+        std::cerr << "chaos_soak: --restart-backoff-sec must be "
+                     ">= 0\n";
         return false;
     }
     return true;
@@ -151,9 +185,11 @@ main(int argc, char **argv)
 
     stats::Table table("chaos soak");
     table.setHeader({"seed", "faults", "savings% avg",
-                     "degradation events", "hosts failed"});
+                     "degradation events", "hosts failed",
+                     "restarted", "perm failed"});
 
     bool escaped = false;
+    bool unhealed = false;
     for (std::uint64_t run = 0; run < options.runs; ++run) {
         const std::uint64_t seed = options.seed + run;
         try {
@@ -177,19 +213,61 @@ main(int argc, char **argv)
                     static_cast<sim::SimTime>(
                         options.metricsIntervalSec) *
                     sim::SEC);
+            if (options.restartMax > 0) {
+                host::RestartPolicy policy;
+                policy.maxAttempts = options.restartMax;
+                policy.backoff =
+                    static_cast<sim::SimTime>(
+                        options.restartBackoffSec) *
+                    sim::SEC;
+                fleet.setRestartPolicy(policy);
+            }
+            if (options.audit)
+                fleet.enableInvariantAudit(fault::auditHost);
             fleet.start();
+
+            std::vector<fault::FaultPlan> plans;
+            for (std::size_t i = 0; i < fleet.size(); ++i) {
+                auto plan = fault::FaultPlan::random(
+                    seed + (i + 1) * 0x9e3779b97f4a7c15ull,
+                    duration);
+                if (options.storm) {
+                    // The crash-storm scenario: every host dies
+                    // outright mid-run and loses its controller
+                    // later if it came back.
+                    plan.events.push_back(
+                        {static_cast<sim::SimTime>(0.3 * duration),
+                         fault::FaultKind::HOST_CRASH, 0.0});
+                    plan.events.push_back(
+                        {static_cast<sim::SimTime>(0.55 * duration),
+                         fault::FaultKind::CONTROLLER_CRASH, 20.0});
+                }
+                plans.push_back(std::move(plan));
+            }
 
             std::vector<std::unique_ptr<fault::FaultInjector>>
                 injectors;
             for (std::size_t i = 0; i < fleet.size(); ++i) {
                 injectors.push_back(
                     std::make_unique<fault::FaultInjector>(
-                        fleet.host(i),
-                        fault::FaultPlan::random(
-                            seed + (i + 1) * 0x9e3779b97f4a7c15ull,
-                            duration)));
+                        fleet.host(i), plans[i]));
                 injectors.back()->arm();
             }
+
+            // A rebuilt host gets the TAIL of its plan: arm() fires
+            // past events immediately, which would re-crash the host
+            // the moment it comes back.
+            fleet.onHostRestart([&](std::size_t i,
+                                    host::Host &machine) {
+                fault::FaultPlan rest;
+                for (const auto &event : plans[i].events)
+                    if (event.at > fleet.now())
+                        rest.events.push_back(event);
+                injectors[i] =
+                    std::make_unique<fault::FaultInjector>(
+                        machine, std::move(rest));
+                injectors[i]->arm();
+            });
 
             fleet.run(duration, options.jobs);
 
@@ -209,7 +287,28 @@ main(int argc, char **argv)
                           std::to_string(faults),
                           stats::fmt(savings, 2),
                           std::to_string(degradation),
-                          std::to_string(fleet.failedCount())});
+                          std::to_string(fleet.failedCount()),
+                          std::to_string(fleet.restartedCount()),
+                          std::to_string(
+                              fleet.permanentlyFailedCount())});
+
+            if (fleet.permanentlyFailedCount() > 0) {
+                unhealed = true;
+                for (std::size_t i = 0; i < fleet.size(); ++i)
+                    if (fleet.hostFailed(i))
+                        std::cerr << "chaos_soak: seed " << seed
+                                  << ": " << fleet.host(i).name()
+                                  << " permanently failed: "
+                                  << fleet.hostError(i) << "\n";
+            }
+            if (!fleet.auditViolations().empty()) {
+                unhealed = true;
+                for (const auto &violation :
+                     fleet.auditViolations())
+                    std::cerr << "chaos_soak: seed " << seed
+                              << ": invariant violated: "
+                              << violation << "\n";
+            }
 
             if (!options.traceFile.empty())
                 obs::writeTraceFile(
@@ -231,5 +330,5 @@ main(int argc, char **argv)
         }
     }
     table.print(std::cout);
-    return escaped ? 1 : 0;
+    return escaped || unhealed ? 1 : 0;
 }

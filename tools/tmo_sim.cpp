@@ -98,6 +98,9 @@ struct Options {
     std::uint64_t traceBufferMb = 8;
     std::string metricsFile;
     int metricsIntervalSec = 6;
+    /** Host rebuild budget after a crash; 0 = quarantine only. */
+    unsigned restartMax = 0;
+    int restartBackoffSec = 30;
 };
 
 void
@@ -120,7 +123,9 @@ usage()
            "[--fault-plan FILE] [--chaos SEED] [--csv]\n"
            "               [--trace FILE] [--trace-buffer-mb N]\n"
            "               [--metrics-out FILE] "
-           "[--metrics-interval-sec N]\n";
+           "[--metrics-interval-sec N]\n"
+           "               [--restart-max N] "
+           "[--restart-backoff-sec N]\n";
 }
 
 std::optional<host::AnonMode>
@@ -273,6 +278,16 @@ parse(int argc, char **argv, Options &options)
                              "be >= 1\n";
                 return false;
             }
+        } else if (flag == "--restart-max") {
+            options.restartMax =
+                static_cast<unsigned>(std::stoul(value));
+        } else if (flag == "--restart-backoff-sec") {
+            options.restartBackoffSec = std::stoi(value);
+            if (options.restartBackoffSec < 0) {
+                std::cerr << "tmo_sim: --restart-backoff-sec must "
+                             "be >= 0\n";
+                return false;
+            }
         } else {
             std::cerr << "tmo_sim: unknown flag: " << flag << "\n";
             return false;
@@ -361,7 +376,8 @@ printFleetMinute(host::Fleet &fleet, int minute, bool csv)
 }
 
 void
-printSingleHostSummary(host::Host &machine, const Options &options,
+printSingleHostSummary(host::Fleet &fleet, host::Host &machine,
+                       const Options &options,
                        const fault::FaultInjector *injector)
 {
     auto &app = primaryApp(machine);
@@ -397,6 +413,13 @@ printSingleHostSummary(host::Host &machine, const Options &options,
     if (injector)
         for (const auto &[label, value] : injector->statsRow())
             table.addRow({label, value});
+    if (fleet.restartPolicy().maxAttempts > 0) {
+        table.addRow({"hosts restarted",
+                      std::to_string(fleet.restartedCount())});
+        table.addRow({"hosts permanently failed",
+                      std::to_string(
+                          fleet.permanentlyFailedCount())});
+    }
     table.print(std::cout);
 }
 
@@ -448,6 +471,13 @@ printFleetSummary(
     table.addRow({"ssd bytes written", stats::fmtBytes(ssd_written)});
     table.addRow({"oom events", std::to_string(ooms)});
     table.addRow({"hosts failed", std::to_string(fleet.failedCount())});
+    if (fleet.restartPolicy().maxAttempts > 0) {
+        table.addRow({"hosts restarted",
+                      std::to_string(fleet.restartedCount())});
+        table.addRow({"hosts permanently failed",
+                      std::to_string(
+                          fleet.permanentlyFailedCount())});
+    }
     std::uint64_t faults = 0;
     bool any_injector = false;
     for (const auto &injector : injectors) {
@@ -542,6 +572,14 @@ main(int argc, char **argv)
         fleet.enableMetrics(
             static_cast<sim::SimTime>(options.metricsIntervalSec) *
             sim::SEC);
+    if (options.restartMax > 0) {
+        host::RestartPolicy policy;
+        policy.maxAttempts = options.restartMax;
+        policy.backoff =
+            static_cast<sim::SimTime>(options.restartBackoffSec) *
+            sim::SEC;
+        fleet.setRestartPolicy(policy);
+    }
     fleet.start();
 
     // Fault delivery: the scripted plan applies to every host; --chaos
@@ -552,6 +590,7 @@ main(int argc, char **argv)
         fleet.size());
     const auto duration =
         static_cast<sim::SimTime>(options.minutes) * sim::MINUTE;
+    std::vector<fault::FaultPlan> plans(fleet.size());
     for (std::size_t i = 0; i < fleet.size(); ++i) {
         fault::FaultPlan plan = options.faultPlan;
         if (options.chaosSeed) {
@@ -563,12 +602,31 @@ main(int argc, char **argv)
                                chaos.events.begin(),
                                chaos.events.end());
         }
-        if (plan.empty())
+        plans[i] = std::move(plan);
+        if (plans[i].empty())
             continue;
         injectors[i] = std::make_unique<fault::FaultInjector>(
-            fleet.host(i), std::move(plan));
+            fleet.host(i), plans[i]);
         injectors[i]->arm();
     }
+
+    // A rebuilt host resumes its plan from the fleet clock onward:
+    // arm() fires past events immediately, so re-arming the full plan
+    // would replay the crash that killed the host.
+    fleet.onHostRestart([&fleet, &plans, &injectors](
+                            std::size_t i, host::Host &machine) {
+        fault::FaultPlan rest;
+        for (const auto &event : plans[i].events)
+            if (event.at > fleet.now())
+                rest.events.push_back(event);
+        if (rest.empty()) {
+            injectors[i].reset();
+            return;
+        }
+        injectors[i] = std::make_unique<fault::FaultInjector>(
+            machine, std::move(rest));
+        injectors[i]->arm();
+    });
 
     const bool fleet_mode = fleet.size() > 1;
     if (options.csv) {
@@ -593,7 +651,7 @@ main(int argc, char **argv)
         if (fleet_mode)
             printFleetSummary(fleet, options, injectors);
         else
-            printSingleHostSummary(fleet.host(0), options,
+            printSingleHostSummary(fleet, fleet.host(0), options,
                                    injectors[0].get());
     }
 
