@@ -497,6 +497,48 @@ runFigWorkload(Report &report, sim::SimTime minutes)
         static_cast<double>(pgsteal);
 }
 
+/**
+ * Request-level serving path: one host, feed preset on a diurnal
+ * traffic curve, Senpai reclaiming underneath. The wall-clock cost
+ * per served request gates the open-loop generator + queue model
+ * (arrival loop, critical-page touches, histogram updates); the
+ * simulated p99 latency is seed-pinned and lands in `checks` as a
+ * cross-machine determinism anchor.
+ */
+void
+runServingBench(Report &report, sim::SimTime minutes)
+{
+    std::uint64_t completed = 0;
+    double p99_us = 0.0;
+    const double ns = medianNs(1, [&] {
+        sim::Simulation simulation;
+        host::HostConfig config;
+        config.mem.ramBytes = 1ull << 30;
+        config.mem.pageBytes = PAGE;
+        config.seed = 42;
+        host::Host machine(simulation, config);
+        auto profile = workload::appPreset("feed", 512ull << 20);
+        profile.traffic = workload::TrafficSpec::parse(
+            "diurnal:rps=400,amp=0.5,period-min=8");
+        auto &app = machine.addApp(profile, host::AnonMode::ZSWAP);
+        machine.start();
+        app.start();
+        core::Senpai senpai(simulation, machine.memory(),
+                            app.cgroup(),
+                            core::senpaiAggressiveConfig());
+        senpai.start();
+        simulation.runUntil(minutes * sim::MINUTE);
+        completed = app.requests().completed;
+        p99_us = app.requests().latencyUs.p99();
+    });
+    report.metrics["request_latency_ns_per_op"] =
+        {completed ? ns / static_cast<double>(completed) : 0.0,
+         "ns/op", "lower"};
+    report.checks["request_completed"] =
+        static_cast<double>(completed);
+    report.checks["request_p99_us"] = p99_us;
+}
+
 std::string
 jsonNumber(double v)
 {
@@ -589,6 +631,7 @@ main(int argc, char **argv)
     runMicroSuites(report, report.cgroups, report.pages);
     runTierChainBench(report);
     runFigWorkload(report, quick ? 3 : 10);
+    runServingBench(report, quick ? 3 : 8);
     report.metrics["peak_rss_mb"] =
         {peakRssBytes() / (1024.0 * 1024.0), "MiB", "lower"};
 

@@ -6,6 +6,7 @@
 
 #include "baseline/gswap.hpp"
 #include "core/controller.hpp"
+#include "core/slo_controller.hpp"
 #include "core/tmo_daemon.hpp"
 
 namespace tmo::host
@@ -22,6 +23,12 @@ senpaiBase(bool aggressive, const ControllerOptions &options)
     config.source = options.source;
     if (options.psiThreshold > 0.0)
         config.psiThreshold = options.psiThreshold;
+    if (options.ioPsiThreshold > 0.0)
+        config.ioPsiThreshold = options.ioPsiThreshold;
+    if (options.reclaimRatio > 0.0)
+        config.reclaimRatio = options.reclaimRatio;
+    if (options.maxProbeRatio > 0.0)
+        config.maxProbeRatio = options.maxProbeRatio;
     return config;
 }
 
@@ -59,6 +66,26 @@ const Entry REGISTRY[] = {
          -> std::unique_ptr<core::Controller> {
          return makeSenpaiPerApp(host, senpaiBase(true, options),
                                  "senpai-aggressive");
+     }},
+    {"senpai-slo",
+     [](Host &host, const ControllerOptions &options)
+         -> std::unique_ptr<core::Controller> {
+         auto composite =
+             std::make_unique<core::CompositeController>("senpai-slo");
+         core::SloConfig slo;
+         if (options.sloP99Us > 0.0)
+             slo.p99TargetUs = options.sloP99Us;
+         for (const auto &app : host.apps()) {
+             // The probe holds a plain pointer: the host owns both
+             // the apps and the controller, and tears the controller
+             // down first.
+             workload::AppModel *model = app.get();
+             composite->add(std::make_unique<core::SloSenpai>(
+                 host.simulation(), host.memory(), model->cgroup(),
+                 senpaiBase(false, options), slo,
+                 [model] { return model->windowP99Us(); }));
+         }
+         return composite;
      }},
     {"tmo",
      [](Host &host, const ControllerOptions &options)

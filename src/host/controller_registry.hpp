@@ -25,9 +25,17 @@ namespace tmo::host
 struct ControllerOptions {
     /** >0 overrides the Senpai-family PSI threshold. */
     double psiThreshold = 0.0;
+    /** >0 overrides the Senpai-family IO-pressure guard threshold. */
+    double ioPsiThreshold = 0.0;
+    /** >0 overrides the Senpai-family base reclaim step fraction. */
+    double reclaimRatio = 0.0;
+    /** >0 overrides the Senpai-family per-interval step cap. */
+    double maxProbeRatio = 0.0;
     /** Pressure reading for Senpai-family controllers. AVG60 is the
      *  stable choice at small simulated scales. */
     core::PressureSource source = core::PressureSource::AVG60;
+    /** >0 overrides the senpai-slo p99 latency target (µs). */
+    double sloP99Us = 0.0;
 };
 
 /** Names controllerFactoryFor() accepts, in usage order. */
@@ -41,6 +49,9 @@ bool isKnownController(const std::string &name);
  *   none              no controller (factory yields nullptr)
  *   senpai            one production-config Senpai per container
  *   senpai-aggressive one config-"B" Senpai per container
+ *   senpai-slo        one SLO-gated Senpai per container, fed by the
+ *                     app's request-latency window (request serving
+ *                     enabled; plain senpai behaviour otherwise)
  *   tmo               TmoDaemon, priority-scaled per container
  *   gswap             one g-swap baseline per container
  * Throws std::invalid_argument for an unknown name.

@@ -330,4 +330,28 @@ Fleet::collect(const std::function<double(Host &)> &metric)
     return values;
 }
 
+stats::Histogram
+Fleet::mergeHistograms(
+    const std::function<std::vector<const stats::Histogram *>(Host &)>
+        &pick)
+{
+    stats::Histogram merged;
+    bool first = true;
+    for (auto &shard : shards_) {
+        if (shard.failed)
+            continue;
+        for (const stats::Histogram *hist : pick(*shard.host)) {
+            if (!hist)
+                continue;
+            if (first) {
+                merged = *hist;
+                first = false;
+            } else {
+                merged.merge(*hist);
+            }
+        }
+    }
+    return merged;
+}
+
 } // namespace tmo::host

@@ -28,6 +28,7 @@
 #include "obs/export.hpp"
 #include "sim/sharded_executor.hpp"
 #include "sim/simulation.hpp"
+#include "stats/histogram.hpp"
 #include "stats/timeseries.hpp"
 
 namespace tmo::host
@@ -169,6 +170,21 @@ class Fleet
      */
     std::vector<double> collect(
         const std::function<double(Host &)> &metric);
+
+    /**
+     * Merge per-host histograms into one fleet distribution —
+     * request-latency p50/p99/p999 over every request the fleet
+     * served, not an average of per-host percentiles. @p pick may
+     * return several histograms per host (one per serving app);
+     * failed shards are skipped like collect(). Hosts are visited in
+     * host-index order and histogram merging is commutative bucket
+     * addition, so the result is bit-identical for any --jobs.
+     * All picked histograms must share one bucket geometry; the
+     * result is empty when no host contributes.
+     */
+    stats::Histogram mergeHistograms(
+        const std::function<std::vector<const stats::Histogram *>(
+            Host &)> &pick);
 
     // --- observability ---------------------------------------------------
 

@@ -40,6 +40,11 @@ HostBuilder::resolvedApps() const
 {
     std::vector<AppSpec> apps = apps_;
     for (auto &app : apps) {
+        // Request-serving apps inherit the builder's traffic curve;
+        // background services (no offered load) keep ticking as-is.
+        if (traffic_.enabled() && app.profile.offeredRps > 0.0 &&
+            !app.profile.traffic.enabled())
+            app.profile.traffic = traffic_;
         if (!app.useDefaultMode)
             continue;
         if (useDefaultTiers_) {

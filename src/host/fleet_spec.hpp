@@ -194,6 +194,28 @@ class HostBuilder
     HostBuilder &workload(const std::string &preset,
                           std::uint64_t footprint_mb = 1024);
 
+    /**
+     * Request-level serving: every declared app with offered load
+     * gets this traffic curve at build time (open-loop Poisson
+     * arrivals + per-request latency instead of the closed-form RPS
+     * model). Background services (offeredRps = 0) are left alone.
+     */
+    HostBuilder &
+    traffic(const workload::TrafficSpec &spec)
+    {
+        traffic_ = spec;
+        return *this;
+    }
+
+    /** traffic() from a spec string such as
+     *  "diurnal:rps=2000,amp=0.6,period-min=60". Throws
+     *  std::invalid_argument with a named error when malformed. */
+    HostBuilder &
+    traffic(const std::string &spec)
+    {
+        return traffic(workload::TrafficSpec::parse(spec));
+    }
+
     /** Add a fully specified container.
      *  @deprecated Prefer the TierChainSpec overload. */
     HostBuilder &
@@ -257,6 +279,8 @@ class HostBuilder
     AnonMode defaultMode_ = AnonMode::ZSWAP;
     tier::TierChainSpec defaultTiers_;
     bool useDefaultTiers_ = false;
+    /** Applied to every request-serving app in resolvedApps(). */
+    workload::TrafficSpec traffic_;
     std::vector<AppSpec> apps_;
     ControllerFactory controller_;
 };
@@ -324,6 +348,8 @@ class FleetSpec
     FleetSpec &tiers(const tier::TierChainSpec &spec) { proto_.tiers(spec); return *this; }
     FleetSpec &tiers(const std::string &spec) { proto_.tiers(spec); return *this; }
     FleetSpec &workload(const std::string &preset, std::uint64_t footprint_mb = 1024) { proto_.workload(preset, footprint_mb); return *this; }
+    FleetSpec &traffic(const workload::TrafficSpec &spec) { proto_.traffic(spec); return *this; }
+    FleetSpec &traffic(const std::string &spec) { proto_.traffic(spec); return *this; }
     FleetSpec &app(workload::AppProfile profile, AnonMode mode, cgroup::Priority priority = cgroup::Priority::NORMAL) { proto_.app(std::move(profile), mode, priority); return *this; } ///< @deprecated see HostBuilder::app
     FleetSpec &app(workload::AppProfile profile, const tier::TierChainSpec &t, cgroup::Priority priority = cgroup::Priority::NORMAL) { proto_.app(std::move(profile), t, priority); return *this; }
     FleetSpec &controller(ControllerFactory factory) { proto_.controller(std::move(factory)); return *this; }

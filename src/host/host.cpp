@@ -129,6 +129,31 @@ Host::enableMetrics(sim::SimTime interval)
         metrics_->addProbe(prefix + "ws_refault", [cg] {
             return static_cast<double>(cg->stats().wsRefault);
         });
+        // Request-serving observability: registered only when the app
+        // has a traffic curve, so metric output of legacy
+        // (closed-form RPS) runs is unchanged.
+        if (workload::AppModel *model = app.get();
+            model->servingRequests()) {
+            metrics_->addProbe(prefix + "req.offered", [model] {
+                return static_cast<double>(model->requests().offered);
+            });
+            metrics_->addProbe(prefix + "req.completed", [model] {
+                return static_cast<double>(
+                    model->requests().completed);
+            });
+            metrics_->addProbe(prefix + "req.dropped", [model] {
+                return static_cast<double>(model->requests().dropped);
+            });
+            metrics_->addProbe(prefix + "req.p50_us", [model] {
+                return model->requests().latencyUs.p50();
+            });
+            metrics_->addProbe(prefix + "req.p99_us", [model] {
+                return model->requests().latencyUs.p99();
+            });
+            metrics_->addProbe(prefix + "req.p999_us", [model] {
+                return model->requests().latencyUs.p999();
+            });
+        }
         // Tier-chain observability: per-tier occupancy plus movement
         // rates and inter-tier latency. The probes read through the
         // memcg so they stay correct across setTiers() phase changes.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace tmo::stats
 {
@@ -97,6 +98,24 @@ Histogram::quantile(double q) const
         cumulative = next;
     }
     return maxSeen_;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (logMin_ != other.logMin_ || logStep_ != other.logStep_ ||
+        numBuckets_ != other.numBuckets_)
+        throw std::invalid_argument(
+            "Histogram::merge: bucket geometry mismatch");
+    if (other.count_ == 0)
+        return;
+    for (std::size_t i = 0; i < numBuckets_; ++i)
+        counts_[i] += other.counts_[i];
+    minSeen_ = count_ ? std::min(minSeen_, other.minSeen_)
+                      : other.minSeen_;
+    maxSeen_ = std::max(maxSeen_, other.maxSeen_);
+    count_ += other.count_;
+    sum_ += other.sum_;
 }
 
 void

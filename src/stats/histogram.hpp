@@ -52,6 +52,18 @@ class Histogram
     double p50() const { return quantile(0.50); }
     double p90() const { return quantile(0.90); }
     double p99() const { return quantile(0.99); }
+    double p999() const { return quantile(0.999); }
+
+    /**
+     * Fold another histogram's samples into this one. Both histograms
+     * must share the same bucket geometry (min/max/resolution);
+     * otherwise std::invalid_argument. Quantiles of the merged
+     * histogram equal those of a histogram fed both sample streams —
+     * the basis for fleet-level latency percentiles, where merging
+     * per-host histograms in host-index order keeps results
+     * independent of the job count.
+     */
+    void merge(const Histogram &other);
 
     /** Largest recorded sample. */
     double max() const { return maxSeen_; }

@@ -184,6 +184,193 @@ AppModel::sweepRegion(Region &region, sim::SimTime now,
 }
 
 double
+AppModel::modelRequests(sim::SimTime start, const Stalls &critical)
+{
+    const double tick_s = sim::toSeconds(tickLen_);
+    const double throttle = throttleFactor();
+    const double offered = profile_.offeredRps * throttle;
+    double completed = 0.0;
+    if (offered > 0.0) {
+        const double offered_now = offered * tick_s;
+        const double cpu_per_req =
+            profile_.cpuUsPerRequest * sim::USEC;
+        // Frontend-bound coupling (§4.4): each request touches
+        // touchesPerRequest pages of the critical working set; the
+        // expected miss cost per touch is this tick's critical stall
+        // time over its touches.
+        double miss_cost = 0.0;
+        if (lastTick_.criticalTouches > 0) {
+            miss_cost = static_cast<double>(critical.total()) /
+                        static_cast<double>(lastTick_.criticalTouches) *
+                        profile_.touchesPerRequest;
+        }
+        // One tick holds few critical touches; smooth the estimate so
+        // a single unlucky fault burst does not crater one tick's RPS.
+        missCost_.update(miss_cost, start);
+        miss_cost = missCost_.value();
+        const double req_latency = cpu_per_req + miss_cost;
+        lastTick_.requestLatencyUs = req_latency / sim::USEC;
+        lastTick_.latencySampled = true;
+        const double worker_time =
+            static_cast<double>(profile_.threads) *
+            static_cast<double>(tickLen_);
+        const double capacity = req_latency > 0.0
+                                    ? worker_time / req_latency
+                                    : offered_now;
+        completed = std::min(offered_now, capacity);
+        // Small measurement noise so A/B deltas are not suspiciously
+        // exact. Re-clamp afterwards: noise models measurement error
+        // of the *completion* count, and an app cannot complete more
+        // requests than were offered.
+        completed *= std::max(0.0, rng_.normal(1.0, 0.01));
+        completed = std::min(completed, offered_now);
+    }
+    lastTick_.offeredRps = offered;
+    return completed;
+}
+
+sim::SimTime
+AppModel::touchCriticalPages(std::uint64_t touches, sim::SimTime now,
+                             Stalls &critical)
+{
+    // Fan-out: the request reads random pages of the critical working
+    // set. A touch landing on an offloaded page eats the fault stall
+    // in its own completion latency AND feeds PSI via the critical
+    // stall bucket — the §4.4 coupling, now per request.
+    std::uint64_t total = 0;
+    for (const auto &region : regions_)
+        if (region.spec.critical)
+            total += region.pages.size();
+    if (total == 0)
+        return 0;
+    sim::SimTime stall = 0;
+    for (std::uint64_t i = 0; i < touches; ++i) {
+        std::uint64_t pick = rng_.uniformInt(total);
+        for (auto &region : regions_) {
+            if (!region.spec.critical)
+                continue;
+            if (pick >= region.pages.size()) {
+                pick -= region.pages.size();
+                continue;
+            }
+            const auto result = mm_.access(region.pages[pick], now);
+            ++lastTick_.touches;
+            ++lastTick_.criticalTouches;
+            if (result.faulted)
+                ++lastTick_.faults;
+            if (result.refault)
+                ++lastTick_.refaults;
+            accumulate(result, critical);
+            // Wall-clock cost to the request: mem and IO stalls of
+            // one access overlap, so the longer one dominates.
+            stall += std::max(result.memStall, result.ioStall);
+            break;
+        }
+    }
+    return stall;
+}
+
+void
+AppModel::rollLatencyWindow(sim::SimTime now)
+{
+    if (now - windowStart_ < windowLen_)
+        return;
+    // An empty window yields "no signal" (negative), not a stale
+    // reading: an idle trough must not keep a controller panicked
+    // about a surge that already passed.
+    windowP99Us_ = window_.count() > 0 ? window_.p99() : -1.0;
+    window_.reset();
+    windowStart_ = now;
+}
+
+double
+AppModel::serveRequests(sim::SimTime start, Stalls &critical)
+{
+    const sim::SimTime end = start + tickLen_;
+    rollLatencyWindow(start);
+    if (!server_)
+        server_ = std::make_unique<RequestServer>(
+            profile_.threads, profile_.traffic.queueLimit);
+
+    const double rate = profile_.traffic.rateAt(start);
+    const double throttle = throttleFactor();
+    const double cpu_per_req = profile_.cpuUsPerRequest * sim::USEC;
+    const double fanout = profile_.traffic.fanout > 0.0
+                              ? profile_.traffic.fanout
+                              : profile_.touchesPerRequest;
+    const auto touches = static_cast<std::uint64_t>(fanout);
+
+    std::uint64_t arrivals = 0;
+    std::uint64_t served = 0;
+    std::uint64_t dropped = 0;
+    double latency_sum_us = 0.0;
+    if (rate > 0.0) {
+        // Open-loop Poisson arrivals: exponential gaps at the
+        // instantaneous rate. The gap sequence restarts each tick,
+        // which the exponential's memorylessness makes statistically
+        // identical to one continuous process while keeping ticks
+        // independent of the rate history.
+        sim::SimTime cursor = start;
+        for (;;) {
+            const auto gap = static_cast<sim::SimTime>(
+                rng_.exponential(1.0 / rate) *
+                static_cast<double>(sim::SEC));
+            cursor += std::max<sim::SimTime>(gap, 1);
+            if (cursor >= end)
+                break;
+            ++arrivals;
+            // Memory-bound self-throttling (§4.2) sheds at admission:
+            // near its limit the app serves fewer requests rather
+            // than thrash.
+            if (throttle < 1.0 && rng_.chance(1.0 - throttle)) {
+                ++dropped;
+                continue;
+            }
+            // Load shedding: a request that would out-wait the queue
+            // limit is rejected before doing any work.
+            if (server_->backlog(cursor) > profile_.traffic.queueLimit) {
+                ++dropped;
+                continue;
+            }
+            const sim::SimTime stall =
+                touchCriticalPages(touches, cursor, critical);
+            const auto outcome = server_->offer(
+                cursor, static_cast<sim::SimTime>(cpu_per_req) + stall);
+            if (!outcome.admitted) {
+                ++dropped;
+                continue;
+            }
+            ++served;
+            const double us =
+                static_cast<double>(outcome.latency) / sim::USEC;
+            requests_.latencyUs.add(us);
+            window_.add(us);
+            latency_sum_us += us;
+        }
+    }
+    requests_.offered += arrivals;
+    requests_.completed += served;
+    requests_.dropped += dropped;
+    lastTick_.offeredRps =
+        static_cast<double>(arrivals) / sim::toSeconds(tickLen_);
+    lastTick_.dropped = dropped;
+    if (served > 0) {
+        lastTick_.requestLatencyUs =
+            latency_sum_us / static_cast<double>(served);
+        lastTick_.latencySampled = true;
+    }
+    return static_cast<double>(served);
+}
+
+void
+AppModel::setTraffic(const TrafficSpec &traffic)
+{
+    profile_.traffic = traffic;
+    // Rebuilt on the next tick with the new thread/queue settings.
+    server_.reset();
+}
+
+double
 AppModel::throttleFactor() const
 {
     if (profile_.throttleStartFraction <= 0.0)
@@ -225,41 +412,9 @@ AppModel::tick()
         sweepRegion(region, start, budget, critical, background);
 
     // --- request processing -------------------------------------------
-    const double throttle = throttleFactor();
-    const double offered = profile_.offeredRps * throttle;
-    double completed = 0.0;
-    if (offered > 0.0) {
-        const double offered_now = offered * tick_s;
-        const double cpu_per_req =
-            profile_.cpuUsPerRequest * sim::USEC;
-        // Frontend-bound coupling (§4.4): each request touches
-        // touchesPerRequest pages of the critical working set; the
-        // expected miss cost per touch is this tick's critical stall
-        // time over its touches.
-        double miss_cost = 0.0;
-        if (lastTick_.criticalTouches > 0) {
-            miss_cost = static_cast<double>(critical.total()) /
-                        static_cast<double>(lastTick_.criticalTouches) *
-                        profile_.touchesPerRequest;
-        }
-        // One tick holds few critical touches; smooth the estimate so
-        // a single unlucky fault burst does not crater one tick's RPS.
-        missCost_.update(miss_cost, start);
-        miss_cost = missCost_.value();
-        const double req_latency = cpu_per_req + miss_cost;
-        lastTick_.requestLatencyUs = req_latency / sim::USEC;
-        const double worker_time =
-            static_cast<double>(profile_.threads) *
-            static_cast<double>(tickLen_);
-        const double capacity = req_latency > 0.0
-                                    ? worker_time / req_latency
-                                    : offered_now;
-        completed = std::min(offered_now, capacity);
-        // Small measurement noise so A/B deltas are not suspiciously
-        // exact.
-        completed *= std::max(0.0, rng_.normal(1.0, 0.01));
-    }
-    lastTick_.offeredRps = offered;
+    const double completed = servingRequests()
+                                 ? serveRequests(start, critical)
+                                 : modelRequests(start, critical);
     lastTick_.completedRps = completed / tick_s;
     lastTick_.memStall = critical.memOnly + critical.memAndIo +
                          background.memOnly + background.memAndIo;
@@ -399,6 +554,10 @@ AppModel::restart()
     const bool was_running = running_;
     stop();
     freeAll();
+    // In-flight requests die with the process; cumulative request
+    // stats survive like cgroup counters do.
+    if (server_)
+        server_->reset();
     if (was_running)
         start();
 }

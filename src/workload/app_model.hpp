@@ -23,7 +23,9 @@
 #include "sim/rng.hpp"
 #include "sim/simulation.hpp"
 #include "stats/ewma.hpp"
+#include "stats/histogram.hpp"
 #include "workload/app_profile.hpp"
+#include "workload/request_gen.hpp"
 
 namespace tmo::workload
 {
@@ -39,8 +41,28 @@ struct TickStats {
     std::uint64_t swapins = 0;
     sim::SimTime memStall = 0;
     sim::SimTime ioStall = 0;
-    /** Expected per-request latency this tick (cpu + miss stalls). */
+    /** Per-request latency this tick: mean over completions in
+     *  request-serving mode, the closed-form estimate otherwise.
+     *  Only meaningful when latencySampled is set — idle ticks have
+     *  no requests and must not contribute zero samples. */
     double requestLatencyUs = 0.0;
+    /** True when requestLatencyUs reflects at least one request. */
+    bool latencySampled = false;
+    /** Requests shed this tick (queue-limit or throttle), serving
+     *  mode only. */
+    std::uint64_t dropped = 0;
+};
+
+/** Cumulative request-serving counters (TrafficSpec mode only). */
+struct RequestStats {
+    /** Requests that arrived. */
+    std::uint64_t offered = 0;
+    /** Requests served to completion. */
+    std::uint64_t completed = 0;
+    /** Requests shed (queue overflow or memory-bound throttle). */
+    std::uint64_t dropped = 0;
+    /** Completion latency (µs) of every served request. */
+    stats::Histogram latencyUs{0.1, 1e7, 20};
 };
 
 /** One running workload instance. */
@@ -83,6 +105,24 @@ class AppModel
     /** Change offered load mid-run. */
     void setOfferedRps(double rps) { profile_.offeredRps = rps; }
 
+    /** Switch to (or reconfigure) request-level serving mid-run. */
+    void setTraffic(const TrafficSpec &traffic);
+
+    /** Whether request-level serving is active. */
+    bool servingRequests() const { return profile_.traffic.enabled(); }
+
+    /** Cumulative request counters and latency histogram (serving
+     *  mode; zeros otherwise). */
+    const RequestStats &requests() const { return requests_; }
+
+    /**
+     * p99 completion latency (µs) over the most recent closed
+     * latency window (~one Senpai interval), or a negative value
+     * while no window has completed with samples — the feedback
+     * signal for SLO-aware controllers.
+     */
+    double windowP99Us() const { return windowP99Us_; }
+
     const AppProfile &profile() const { return profile_; }
     cgroup::Cgroup &cgroup() { return *cg_; }
 
@@ -122,6 +162,17 @@ class AppModel
                      Stalls &background);
     void accumulate(const mem::AccessResult &result, Stalls &stalls);
     double throttleFactor() const;
+    /** Legacy closed-form RPS model (traffic disabled). Returns
+     *  completed requests this tick. */
+    double modelRequests(sim::SimTime start, const Stalls &critical);
+    /** Open-loop per-request serving (traffic enabled). Returns
+     *  completed requests this tick. */
+    double serveRequests(sim::SimTime start, Stalls &critical);
+    /** One request's page fan-out into the critical working set;
+     *  returns the request's fault-stall wall time. */
+    sim::SimTime touchCriticalPages(std::uint64_t touches,
+                                    sim::SimTime now, Stalls &critical);
+    void rollLatencyWindow(sim::SimTime now);
     void tick();
     void scheduleTick();
     void freeAll();
@@ -147,6 +198,22 @@ class AppModel
     /** Smoothed per-request miss cost: a single tick holds too few
      *  critical touches for a stable rate estimate. */
     stats::Ewma missCost_{30 * sim::SEC};
+
+    // --- request-level serving (TrafficSpec mode) ------------------------
+
+    /** Worker pool + admission queue; persists across ticks so a
+     *  surge backlog drains realistically. */
+    std::unique_ptr<RequestServer> server_;
+    RequestStats requests_;
+    /** Samples of the currently open latency window. */
+    stats::Histogram window_{0.1, 1e7, 20};
+    sim::SimTime windowStart_ = 0;
+    /** Window length: one Senpai interval, so the controller reads a
+     *  fresh signal each control tick. */
+    sim::SimTime windowLen_ = 6 * sim::SEC;
+    /** p99 of the last closed window; < 0 until one closes with
+     *  samples. */
+    double windowP99Us_ = -1.0;
 };
 
 } // namespace tmo::workload

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "workload/request_gen.hpp"
 
 namespace tmo::workload
 {
@@ -86,6 +87,14 @@ struct AppProfile {
      * days and makes SSD endurance regulation matter (Fig. 14).
      */
     double churnBytesPerSec = 0.0;
+    /**
+     * Request-level serving: when enabled, offeredRps is replaced by
+     * an open-loop Poisson arrival process over this traffic curve,
+     * and per-request completion latency is recorded (p50/p99/p999)
+     * instead of the closed-form capacity model. NONE (the default)
+     * keeps the legacy tick-granularity RPS model.
+     */
+    TrafficSpec traffic;
 };
 
 /**

@@ -160,11 +160,11 @@ TEST(ShardedExecutorTest, ReusableAcrossRounds)
 
 TEST(ControllerRegistryTest, KnowsTheCliVocabulary)
 {
-    for (const char *name :
-         {"none", "senpai", "senpai-aggressive", "tmo", "gswap"})
+    for (const char *name : {"none", "senpai", "senpai-aggressive",
+                             "senpai-slo", "tmo", "gswap"})
         EXPECT_TRUE(host::isKnownController(name)) << name;
     EXPECT_FALSE(host::isKnownController("bogus"));
-    EXPECT_EQ(host::knownControllers().size(), 5u);
+    EXPECT_EQ(host::knownControllers().size(), 6u);
     EXPECT_THROW(host::controllerFactoryFor("bogus"),
                  std::invalid_argument);
 }

@@ -7,7 +7,9 @@ Usage:
 Exit codes:
     0  no metric regressed beyond the tolerance
     1  at least one regression (or schema mismatch)
-    2  bad invocation / unreadable file
+    2  bad invocation / unreadable file / malformed metric entry
+       (missing "value", or a zero baseline that would make the
+       relative tolerance meaningless)
 
 A metric regresses when it moves in its "better"-is-worse direction by
 more than ``tolerance`` relative to the baseline value:
@@ -71,16 +73,26 @@ def main():
             print(f"{name:44} {'—':>14} {'—':>14} {'—':>8}  "
                   f"only in {which} (ignored)")
             continue
-        cv, bv = cur["value"], base["value"]
-        better = cur.get("better", "lower")
+        cv, bv = cur.get("value"), base.get("value")
+        if cv is None or bv is None:
+            which = "current" if cv is None else "baseline"
+            print(f"bench_check: metric {name!r} in {which} report "
+                  f"has no \"value\" field — malformed report",
+                  file=sys.stderr)
+            sys.exit(2)
         if bv == 0:
-            delta = 0.0
-        else:
-            delta = (cv - bv) / abs(bv)
+            # A relative gate against zero passes everything; that is
+            # a broken baseline, not a clean bill of health.
+            print(f"bench_check: metric {name!r} has a zero baseline "
+                  f"value — refresh the baseline before gating on it",
+                  file=sys.stderr)
+            sys.exit(2)
+        better = cur.get("better", "lower")
+        delta = (cv - bv) / abs(bv)
         if better == "lower":
-            bad = bv != 0 and cv > bv * (1.0 + args.tolerance)
+            bad = cv > bv * (1.0 + args.tolerance)
         else:
-            bad = bv != 0 and cv < bv * (1.0 - args.tolerance)
+            bad = cv < bv * (1.0 - args.tolerance)
         verdict = "REGRESSED" if bad else "ok"
         print(f"{name:44} {bv:14.4g} {cv:14.4g} {delta:+7.1%}  "
               f"{verdict}")

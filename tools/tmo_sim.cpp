@@ -30,8 +30,20 @@
  *   --ssd-class C        SSD device class A-G [C]
  *   --zswap-compressor C lzo|lz4|zstd [zstd]
  *   --zswap-allocator A  zbud|z3fold|zsmalloc [zsmalloc]
- *   --controller C       none|senpai|senpai-aggressive|tmo|gswap [senpai]
+ *   --controller C       none|senpai|senpai-aggressive|senpai-slo|
+ *                        tmo|gswap [senpai]
  *   --psi-threshold F    Senpai pressure target override
+ *   --io-psi-threshold F Senpai IO-pressure guard override
+ *   --reclaim-ratio F    Senpai base reclaim step override
+ *   --max-probe-ratio F  Senpai per-interval step cap override
+ *   --trace-rps SPEC     request-level serving: open-loop Poisson
+ *                        arrivals over a traffic curve, e.g.
+ *                        flat:rps=2000 |
+ *                        diurnal:rps=2000,amp=0.6,period-min=60 |
+ *                        spike:rps=2000,mult=4,at-min=30,dur-min=10
+ *                        (adds per-request p50/p99/p999 output)
+ *   --slo-p99-us F       p99 latency target for --controller
+ *                        senpai-slo [2000]
  *   --minutes N          simulated duration [60]
  *   --hosts N            fleet size [1]
  *   --jobs N             worker threads for the fleet engine [1]
@@ -84,6 +96,14 @@ struct Options {
     std::string zswapAllocator = "zsmalloc";
     std::string controller = "senpai";
     double psiThreshold = 0.0; // 0 = keep the config default
+    double ioPsiThreshold = 0.0;
+    double reclaimRatio = 0.0;
+    double maxProbeRatio = 0.0;
+    /** Traffic curve for request-level serving; empty = legacy
+     *  closed-form RPS model. */
+    std::string traceRps;
+    /** senpai-slo p99 target override (µs); 0 = config default. */
+    double sloP99Us = 0.0;
     int minutes = 60;
     std::size_t hosts = 1;
     unsigned jobs = 1;
@@ -114,11 +134,15 @@ usage()
            "(deprecated; use --tiers)]\n"
            "               [--ssd-class A-G]\n"
            "               [--controller "
-           "none|senpai|senpai-aggressive|tmo|gswap]\n"
+           "none|senpai|senpai-aggressive|senpai-slo|tmo|gswap]\n"
+           "               [--trace-rps SPEC e.g. "
+           "diurnal:rps=2000,amp=0.6,period-min=60]\n"
+           "               [--slo-p99-us F]\n"
            "               [--zswap-compressor lzo|lz4|zstd] "
            "[--zswap-allocator zbud|z3fold|zsmalloc]\n"
-           "               [--psi-threshold F] [--minutes N] "
-           "[--hosts N] [--jobs N]\n"
+           "               [--psi-threshold F] [--io-psi-threshold F]\n"
+           "               [--reclaim-ratio F] [--max-probe-ratio F]\n"
+           "               [--minutes N] [--hosts N] [--jobs N]\n"
            "               [--epoch-sec N] [--seed N] "
            "[--fault-plan FILE] [--chaos SEED] [--csv]\n"
            "               [--trace FILE] [--trace-buffer-mb N]\n"
@@ -237,6 +261,40 @@ parse(int argc, char **argv, Options &options)
             }
         } else if (flag == "--psi-threshold") {
             options.psiThreshold = std::stod(value);
+        } else if (flag == "--io-psi-threshold") {
+            options.ioPsiThreshold = std::stod(value);
+        } else if (flag == "--reclaim-ratio") {
+            options.reclaimRatio = std::stod(value);
+            if (options.reclaimRatio <= 0.0 ||
+                options.reclaimRatio > 1.0) {
+                std::cerr
+                    << "tmo_sim: --reclaim-ratio must be in (0, 1]\n";
+                return false;
+            }
+        } else if (flag == "--max-probe-ratio") {
+            options.maxProbeRatio = std::stod(value);
+            if (options.maxProbeRatio <= 0.0 ||
+                options.maxProbeRatio > 1.0) {
+                std::cerr
+                    << "tmo_sim: --max-probe-ratio must be in (0, 1]\n";
+                return false;
+            }
+        } else if (flag == "--trace-rps") {
+            // Fail fast with the parser's named error, never
+            // mid-build.
+            options.traceRps = value;
+            std::string error;
+            if (!workload::isValidTrafficSpec(options.traceRps,
+                                              &error)) {
+                std::cerr << "tmo_sim: " << error << "\n";
+                return false;
+            }
+        } else if (flag == "--slo-p99-us") {
+            options.sloP99Us = std::stod(value);
+            if (options.sloP99Us <= 0.0) {
+                std::cerr << "tmo_sim: --slo-p99-us must be > 0\n";
+                return false;
+            }
         } else if (flag == "--minutes") {
             options.minutes = std::stoi(value);
         } else if (flag == "--hosts") {
@@ -331,8 +389,24 @@ ioPsiAvg60(host::Host &machine)
            100.0;
 }
 
+/** Every serving app's cumulative latency merged fleet-wide. */
+stats::Histogram
+fleetLatency(host::Fleet &fleet)
+{
+    return fleet.mergeHistograms(
+        [](host::Host &machine)
+            -> std::vector<const stats::Histogram *> {
+            std::vector<const stats::Histogram *> hists;
+            for (const auto &app : machine.apps())
+                if (app->servingRequests())
+                    hists.push_back(&app->requests().latencyUs);
+            return hists;
+        });
+}
+
 void
-printSingleHostMinute(host::Host &machine, int minute, bool csv)
+printSingleHostMinute(host::Host &machine, int minute, bool csv,
+                      bool serving)
 {
     if (!csv && minute % 10 != 0)
         return;
@@ -345,11 +419,20 @@ printSingleHostMinute(host::Host &machine, int minute, bool csv)
               << stats::fmt(memPsiAvg60(machine), 4) << ","
               << stats::fmt(ioPsiAvg60(machine), 4) << ","
               << app.cgroup().stats().pswpin << ","
-              << app.cgroup().stats().wsRefault << "\n";
+              << app.cgroup().stats().wsRefault;
+    if (serving) {
+        const auto &lat = app.requests().latencyUs;
+        std::cout << "," << stats::fmt(lat.p50(), 1) << ","
+                  << stats::fmt(lat.p99(), 1) << ","
+                  << stats::fmt(lat.p999(), 1) << ","
+                  << app.requests().dropped;
+    }
+    std::cout << "\n";
 }
 
 void
-printFleetMinute(host::Fleet &fleet, int minute, bool csv)
+printFleetMinute(host::Fleet &fleet, int minute, bool csv,
+                 bool serving)
 {
     if (!csv && minute % 10 != 0)
         return;
@@ -372,7 +455,14 @@ printFleetMinute(host::Fleet &fleet, int minute, bool csv)
               << stats::fmt(stats::exactQuantile(pressure, 0.5), 4)
               << ","
               << stats::fmt(stats::exactQuantile(pressure, 0.9), 4)
-              << "," << swapins << "\n";
+              << "," << swapins;
+    if (serving) {
+        const auto lat = fleetLatency(fleet);
+        std::cout << "," << stats::fmt(lat.p50(), 1) << ","
+                  << stats::fmt(lat.p99(), 1) << ","
+                  << stats::fmt(lat.p999(), 1);
+    }
+    std::cout << "\n";
 }
 
 void
@@ -406,6 +496,19 @@ printSingleHostSummary(host::Fleet &fleet, host::Host &machine,
                       machine.ssd().bytesWritten()))});
     table.addRow({"oom events",
                   std::to_string(machine.memory().oomEvents())});
+    if (app.servingRequests()) {
+        const auto &req = app.requests();
+        table.addRow({"requests offered", std::to_string(req.offered)});
+        table.addRow(
+            {"requests completed", std::to_string(req.completed)});
+        table.addRow({"requests dropped", std::to_string(req.dropped)});
+        table.addRow(
+            {"req p50 us", stats::fmt(req.latencyUs.p50(), 1)});
+        table.addRow(
+            {"req p99 us", stats::fmt(req.latencyUs.p99(), 1)});
+        table.addRow(
+            {"req p999 us", stats::fmt(req.latencyUs.p999(), 1)});
+    }
     if (machine.controller())
         for (const auto &[label, value] :
              machine.controller()->statsRow())
@@ -470,6 +573,25 @@ printFleetSummary(
                            1)});
     table.addRow({"ssd bytes written", stats::fmtBytes(ssd_written)});
     table.addRow({"oom events", std::to_string(ooms)});
+    const auto fleet_lat = fleetLatency(fleet);
+    if (fleet_lat.count() > 0) {
+        // Fleet percentiles over every request served (merged
+        // histograms), plus the spread of per-app p99s across hosts.
+        table.addRow({"requests completed",
+                      std::to_string(fleet_lat.count())});
+        table.addRow({"req p50 us", stats::fmt(fleet_lat.p50(), 1)});
+        table.addRow({"req p99 us", stats::fmt(fleet_lat.p99(), 1)});
+        table.addRow({"req p999 us", stats::fmt(fleet_lat.p999(), 1)});
+        const auto app_p99 = fleet.collect([](host::Host &machine) {
+            return primaryApp(machine).requests().latencyUs.p99();
+        });
+        table.addRow(
+            {"per-app p99 us P50",
+             stats::fmt(stats::exactQuantile(app_p99, 0.5), 1)});
+        table.addRow(
+            {"per-app p99 us P99",
+             stats::fmt(stats::exactQuantile(app_p99, 0.99), 1)});
+    }
     table.addRow({"hosts failed", std::to_string(fleet.failedCount())});
     if (fleet.restartPolicy().maxAttempts > 0) {
         table.addRow({"hosts restarted",
@@ -522,6 +644,10 @@ main(int argc, char **argv)
 
     host::ControllerOptions controller_options;
     controller_options.psiThreshold = options.psiThreshold;
+    controller_options.ioPsiThreshold = options.ioPsiThreshold;
+    controller_options.reclaimRatio = options.reclaimRatio;
+    controller_options.maxProbeRatio = options.maxProbeRatio;
+    controller_options.sloP99Us = options.sloP99Us;
 
     // Zswap presets were validated at parse time, so these cannot
     // throw.
@@ -559,6 +685,8 @@ main(int argc, char **argv)
             spec.tiers(options.tiers);
         else
             spec.backend(*backendMode(options.backend));
+        if (!options.traceRps.empty())
+            spec.traffic(options.traceRps);
         fleet = spec.build();
     } catch (const std::invalid_argument &error) {
         std::cerr << "tmo_sim: " << error.what() << "\n";
@@ -629,22 +757,30 @@ main(int argc, char **argv)
     });
 
     const bool fleet_mode = fleet.size() > 1;
+    const bool serving = !options.traceRps.empty();
     if (options.csv) {
         std::cout << (fleet_mode
                           ? "minute,savings_p50,savings_p90,"
                             "savings_p99,rps_p50,mem_psi_p50,"
-                            "mem_psi_p90,swapins_total\n"
+                            "mem_psi_p90,swapins_total"
                           : "minute,resident_mb,savings_pct,rps,"
                             "mem_psi_avg60,io_psi_avg60,swapins,"
-                            "refaults\n");
+                            "refaults");
+        if (serving)
+            std::cout << (fleet_mode
+                              ? ",req_p50_us,req_p99_us,req_p999_us"
+                              : ",req_p50_us,req_p99_us,req_p999_us,"
+                                "req_dropped");
+        std::cout << "\n";
     }
     for (int minute = 1; minute <= options.minutes; ++minute) {
         fleet.run(static_cast<sim::SimTime>(minute) * sim::MINUTE,
                   options.jobs);
         if (fleet_mode)
-            printFleetMinute(fleet, minute, options.csv);
+            printFleetMinute(fleet, minute, options.csv, serving);
         else
-            printSingleHostMinute(fleet.host(0), minute, options.csv);
+            printSingleHostMinute(fleet.host(0), minute, options.csv,
+                                  serving);
     }
 
     if (!options.csv) {
