@@ -51,10 +51,11 @@ main()
                       stats::fmt(row.breakdown.used2min * 100, 1),
                       stats::fmt(row.breakdown.used5min * 100, 1),
                       stats::fmt(row.breakdown.cold * 100, 1)});
-        avg.used1min += row.breakdown.used1min / rows.size();
-        avg.used2min += row.breakdown.used2min / rows.size();
-        avg.used5min += row.breakdown.used5min / rows.size();
-        avg.cold += row.breakdown.cold / rows.size();
+        const auto n_rows = static_cast<double>(rows.size());
+        avg.used1min += row.breakdown.used1min / n_rows;
+        avg.used2min += row.breakdown.used2min / n_rows;
+        avg.used5min += row.breakdown.used5min / n_rows;
+        avg.cold += row.breakdown.cold / n_rows;
     }
     table.addRow({"average", stats::fmt(avg.used1min * 100, 1),
                   stats::fmt(avg.used2min * 100, 1),

@@ -33,8 +33,8 @@ measure(const workload::AppProfile &profile_in)
         static_cast<double>(info.anonBytes + info.fileBytes);
     if (total <= 0)
         return {0.0, 0.0};
-    return {info.anonBytes / total * 100.0,
-            info.fileBytes / total * 100.0};
+    return {static_cast<double>(info.anonBytes) / total * 100.0,
+            static_cast<double>(info.fileBytes) / total * 100.0};
 }
 
 } // namespace

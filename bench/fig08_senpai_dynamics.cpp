@@ -73,9 +73,10 @@ main()
     }
     shape.expect(gating_ok,
                  "no reclaim requested while pressure >= threshold");
-    shape.expect(max_step <=
-                     config.reclaimRatio * app.allocatedBytes() * 1.01,
-                 "step bounded by reclaim_ratio * current_mem");
+    shape.expect(
+        max_step <= config.reclaimRatio *
+                        static_cast<double>(app.allocatedBytes()) * 1.01,
+        "step bounded by reclaim_ratio * current_mem");
     shape.expect(bench::savingsFraction(app) > 0.02,
                  "memory footprint visibly reduced");
     return shape.verdict();

@@ -28,7 +28,7 @@ BM_LruAttachDetach(benchmark::State &state)
     for (auto _ : state) {
         vec.detach(pages, next);
         vec.attachHead(pages, next, mem::LruKind::INACTIVE_FILE);
-        next = (next + 1) % n;
+        next = static_cast<mem::PageIdx>((next + 1) % n);
     }
 }
 BENCHMARK(BM_LruAttachDetach)->Arg(1024)->Arg(65536)->Arg(1 << 20);

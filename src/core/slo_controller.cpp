@@ -12,11 +12,11 @@ const char *
 sloStateName(SloState state)
 {
     switch (state) {
-    case SloState::STEADY:
+      case SloState::STEADY:
         return "steady";
-    case SloState::CAUTION:
+      case SloState::CAUTION:
         return "caution";
-    case SloState::VIOLATION:
+      case SloState::VIOLATION:
         return "violation";
     }
     return "?";
@@ -41,11 +41,11 @@ double
 SloSenpai::reclaimScale() const
 {
     switch (state_) {
-    case SloState::VIOLATION:
+      case SloState::VIOLATION:
         return 0.0;
-    case SloState::CAUTION:
+      case SloState::CAUTION:
         return slo_.cautionScale;
-    case SloState::STEADY:
+      case SloState::STEADY:
         return 1.0;
     }
     return 1.0;

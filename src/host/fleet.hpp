@@ -244,12 +244,25 @@ class Fleet
      *  invariant violation only). */
     void dumpTraceExcerpt(const Shard &shard) const;
 
+    // Threading discipline (audited by tools/tmo_lint.py check
+    // `mutex-annotation` and clang's -Wthread-safety): Fleet holds no
+    // mutex on purpose. During run() a shard is touched by exactly
+    // one executor lane (the worker that claimed its index), every
+    // other member below is read/written only by the calling thread
+    // between epochs, and ShardedExecutor::parallelFor's barrier is
+    // the happens-before edge separating the two phases. Any new
+    // member a worker lane may touch must be per-shard state inside
+    // Shard, never fleet-global — a fleet-global accumulator written
+    // from the epoch lambda would need a lock and would break
+    // bit-identity across --jobs.
     sim::SimTime epoch_ = sim::MINUTE;
     sim::SimTime now_ = 0;
     /** Ring capacity for hosts added later; 0 = tracing off. */
     std::size_t traceBytesPerHost_ = 0;
     /** Sampling interval for hosts added later; 0 = metrics off. */
     sim::SimTime metricsInterval_ = 0;
+    /** One entry per host; element i is exclusively owned by the
+     *  executor lane running index i while an epoch is in flight. */
     std::vector<Shard> shards_;
     std::unique_ptr<sim::ShardedExecutor> executor_;
     RestartPolicy restart_;

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -102,7 +103,14 @@ class HostBuilder
     HostBuilder &
     page_kb(std::uint64_t kb)
     {
-        config_.mem.pageBytes = kb << 10;
+        // pageBytes is 32-bit; a silent wrap here (e.g. page_kb(1 <<
+        // 22)) used to yield pageBytes == 0 and divide-by-zero deep
+        // in the page-count math. Reject instead.
+        if (kb == 0 || kb >= (std::uint64_t{1} << 22))
+            throw std::invalid_argument(
+                "page_kb: page size must be in [1, 4194303] KiB, got "
+                + std::to_string(kb));
+        config_.mem.pageBytes = static_cast<std::uint32_t>(kb << 10);
         return *this;
     }
 

@@ -41,7 +41,7 @@ class CpuCoordinator
     report(sim::SimTime demand, sim::SimTime now)
     {
         roll(now);
-        accum_ += demand;
+        accum_ += static_cast<double>(demand);
     }
 
     /**

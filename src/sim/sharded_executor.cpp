@@ -32,13 +32,17 @@ ShardedExecutor::runIndices()
 {
     for (;;) {
         std::size_t index;
+        const std::function<void(std::size_t)> *fn = nullptr;
         {
             std::lock_guard<std::mutex> lock(mutex_);
             if (next_ >= n_)
                 return;
             index = next_++;
+            // Snapshot fn_ while the lock is held so the guarded
+            // member is never dereferenced outside the capability.
+            fn = fn_;
         }
-        (*fn_)(index);
+        (*fn)(index);
     }
 }
 

@@ -26,6 +26,8 @@
 #include <thread>
 #include <vector>
 
+#include "sim/thread_annotations.hpp"
+
 namespace tmo::sim
 {
 
@@ -58,18 +60,26 @@ class ShardedExecutor
     void workerLoop();
     void runIndices();
 
+    /** Immutable after construction; no lock needed. */
     unsigned jobs_ = 1;
+    /** Written only by the constructor/destructor (no worker ever
+     *  touches the vector itself); no lock needed. */
     std::vector<std::thread> workers_;
 
+    /** Protects every round-state member below. Workers claim indices
+     *  and publish round transitions only while holding it; the
+     *  doneCv_ barrier gives parallelFor the happens-before edge back
+     *  to the caller. */
     std::mutex mutex_;
     std::condition_variable workCv_;
     std::condition_variable doneCv_;
-    const std::function<void(std::size_t)> *fn_ = nullptr;
-    std::size_t n_ = 0;
-    std::size_t next_ = 0;
-    std::size_t busy_ = 0;
-    std::uint64_t round_ = 0;
-    bool stopping_ = false;
+    const std::function<void(std::size_t)> *fn_ GUARDED_BY(mutex_) =
+        nullptr;
+    std::size_t n_ GUARDED_BY(mutex_) = 0;
+    std::size_t next_ GUARDED_BY(mutex_) = 0;
+    std::size_t busy_ GUARDED_BY(mutex_) = 0;
+    std::uint64_t round_ GUARDED_BY(mutex_) = 0;
+    bool stopping_ GUARDED_BY(mutex_) = false;
 };
 
 } // namespace tmo::sim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Clang thread-safety annotation macros (no-op on GCC).
+ *
+ * PR 1 turned on -Wthread-safety for clang builds; this header gives
+ * the project one spelling for the attributes so every mutex-holding
+ * class can document its locking discipline in a form the compiler
+ * (clang + annotated standard library) and tools/tmo_lint.py (check
+ * `mutex-annotation`: every std::mutex member needs at least one
+ * GUARDED_BY sibling) can both check. The macros expand to nothing
+ * under GCC, so the default toolchain is unaffected.
+ *
+ * Note libstdc++'s std::mutex carries no capability attribute, so a
+ * clang + libstdc++ build parses these annotations without enforcing
+ * the full analysis; they are still load-bearing as machine-readable
+ * documentation that tmo_lint.py audits for coverage.
+ */
+
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define TMO_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define TMO_THREAD_ANNOTATION__(x)
+#endif
+
+#ifndef GUARDED_BY
+/** Data member readable/writable only while holding capability @p x. */
+#define GUARDED_BY(x) TMO_THREAD_ANNOTATION__(guarded_by(x))
+#endif
+
+#ifndef PT_GUARDED_BY
+/** Pointer member whose *pointee* is protected by capability @p x. */
+#define PT_GUARDED_BY(x) TMO_THREAD_ANNOTATION__(pt_guarded_by(x))
+#endif
+
+#ifndef REQUIRES
+/** Function callable only while holding the listed capabilities. */
+#define REQUIRES(...) \
+    TMO_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRE
+/** Function that acquires the listed capabilities and holds them. */
+#define ACQUIRE(...) \
+    TMO_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE
+/** Function that releases the listed capabilities. */
+#define RELEASE(...) \
+    TMO_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#endif
+
+#ifndef EXCLUDES
+/** Function that must NOT be called with the capabilities held. */
+#define EXCLUDES(...) TMO_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+#endif
+
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+/** Opt a function out of the analysis (used for protocol-protected
+ *  state the static analysis cannot model, with a comment saying
+ *  which protocol). */
+#define NO_THREAD_SAFETY_ANALYSIS \
+    TMO_THREAD_ANNOTATION__(no_thread_safety_analysis)
+#endif

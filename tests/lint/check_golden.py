@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Regression-test tmo_lint itself against the fixture golden list.
+
+Runs tools/tmo_lint.py over tests/lint/fixtures and asserts:
+  * exit status is 1 (the bad fixtures DO produce findings),
+  * the finding lines match tests/lint/expected_findings.txt exactly
+    (or by path:line:[check] prefix with --loose, for engines whose
+    message wording differs),
+  * exactly the expected suppression census sites are reported and
+    every one of them was used.
+
+Run from the repository root (ctest sets WORKING_DIRECTORY).
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+
+FINDING_RE = re.compile(r"^(\S+:\d+: \[[a-z-]+\])( .*)?$")
+CENSUS_SITE_RE = re.compile(r"^  (\S+:\d+): allow\(([a-z-]+)\)"
+                            r"(\s*\[UNUSED\])? (.*)$")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--lint", default="tools/tmo_lint.py")
+    parser.add_argument("--fixtures", default="tests/lint/fixtures")
+    parser.add_argument("--golden",
+                        default="tests/lint/expected_findings.txt")
+    parser.add_argument("--engine", default="lexer",
+                        choices=("auto", "clang", "lexer"))
+    parser.add_argument("--loose", action="store_true",
+                        help="compare path:line:[check] prefixes only")
+    args = parser.parse_args()
+
+    proc = subprocess.run(
+        [sys.executable, args.lint, args.fixtures,
+         "--engine", args.engine, "--census"],
+        capture_output=True, text=True)
+    if proc.returncode != 1:
+        print("FAIL: expected exit 1 (findings present), got %d\n"
+              "stdout:\n%s\nstderr:\n%s"
+              % (proc.returncode, proc.stdout, proc.stderr))
+        return 1
+
+    got = [ln for ln in proc.stdout.splitlines()
+           if FINDING_RE.match(ln)]
+    with open(args.golden, encoding="utf-8") as fh:
+        want = [ln.rstrip("\n") for ln in fh if ln.strip()]
+
+    def canon(lines):
+        if not args.loose:
+            return lines
+        return [FINDING_RE.match(ln).group(1) for ln in lines]
+
+    got_c, want_c = canon(got), canon(want)
+    if got_c != want_c:
+        print("FAIL: findings diverge from golden "
+              "(engine=%s, loose=%s)" % (args.engine, args.loose))
+        for ln in sorted(set(want_c) - set(got_c)):
+            print("  missing: %s" % ln)
+        for ln in sorted(set(got_c) - set(want_c)):
+            print("  extra:   %s" % ln)
+        return 1
+
+    sites = [CENSUS_SITE_RE.match(ln)
+             for ln in proc.stdout.splitlines()]
+    sites = [m for m in sites if m]
+    unused = [m.group(1) for m in sites if m.group(3)]
+    if len(sites) != 2 or unused:
+        print("FAIL: expected 2 used suppression census sites, got "
+              "%d (%d unused)\n%s"
+              % (len(sites), len(unused), proc.stdout))
+        return 1
+
+    print("OK: %d findings match golden, %d suppression sites "
+          "(engine=%s)" % (len(got), len(sites), args.engine))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

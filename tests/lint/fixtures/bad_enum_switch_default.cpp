@@ -1,0 +1,23 @@
+// tmo_lint fixture: check `enum-switch-default` MUST fire here.
+// A default label over a project enum class means a new enumerator
+// silently falls through instead of breaking the lint.
+
+namespace tmo_lint_fixture
+{
+
+enum class FixtureStatus { HEALTHY, DEGRADED, FAILED };
+
+const char *
+statusName(FixtureStatus status)
+{
+    switch (status) {
+      case FixtureStatus::HEALTHY:
+        return "healthy";
+      case FixtureStatus::DEGRADED:
+        return "degraded";
+      default: // finding: swallows future enumerators
+        return "failed";
+    }
+}
+
+} // namespace tmo_lint_fixture

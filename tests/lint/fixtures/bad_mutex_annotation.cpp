@@ -1,0 +1,29 @@
+// tmo_lint fixture: check `mutex-annotation` MUST fire here. A lock
+// with no machine-readable statement of what it protects rots into
+// folklore; every mutex member needs a GUARDED_BY-annotated sibling.
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace tmo_lint_fixture
+{
+
+class UnannotatedQueue
+{
+  public:
+    void
+    push(std::uint64_t v)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        items_.push_back(v);
+        ++pushes_;
+    }
+
+  private:
+    std::mutex mutex_; // finding: no GUARDED_BY sibling
+    std::vector<std::uint64_t> items_;
+    std::uint64_t pushes_ = 0;
+};
+
+} // namespace tmo_lint_fixture

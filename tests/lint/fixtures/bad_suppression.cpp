@@ -1,0 +1,31 @@
+// tmo_lint fixture: check `suppression` MUST fire here -- a
+// suppression without a reason and one naming an unknown check are
+// both findings, so silent or typo'd opt-outs cannot accumulate.
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace tmo_lint_fixture
+{
+
+class BadSuppressions
+{
+  public:
+    std::uint64_t
+    reasonless() const
+    {
+        std::uint64_t sum = 0;
+        // tmo-lint: allow(unordered-iteration)
+        for (const auto &entry : byId_) // finding: reasonless allow
+            sum += entry.second;
+        return sum;
+    }
+
+    // tmo-lint: allow(unordred-iteration) typo'd check name
+    std::uint64_t wrongName() const { return byId_.size(); }
+
+  private:
+    std::unordered_map<std::uint64_t, std::uint64_t> byId_;
+};
+
+} // namespace tmo_lint_fixture

@@ -1,0 +1,40 @@
+// tmo_lint fixture: check `unordered-iteration` MUST fire here.
+// Iterating a hash-ordered container visits elements in a
+// pointer/seed dependent order, which breaks bit-identical replay.
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace tmo_lint_fixture
+{
+
+struct CgroupTag;
+
+class BadIndex
+{
+  public:
+    std::uint64_t
+    sumByRangeFor() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &entry : indexOf_) // finding: range-for
+            sum += entry.second;
+        return sum;
+    }
+
+    std::uint64_t
+    sumByIterators() const
+    {
+        std::uint64_t sum = 0;
+        for (auto it = live_.begin(); it != live_.end(); ++it)
+            sum += *it; // finding: begin() walk
+        return sum;
+    }
+
+  private:
+    std::unordered_map<const CgroupTag *, std::uint64_t> indexOf_;
+    std::unordered_set<std::uint64_t> live_;
+};
+
+} // namespace tmo_lint_fixture

@@ -1,0 +1,41 @@
+// tmo_lint fixture: check `wall-clock` MUST fire here. Simulation
+// code must use the sim clock and seeded sim::Rng streams; every
+// construct below smuggles in host time or ambient entropy.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace tmo_lint_fixture
+{
+
+std::uint64_t
+wallNanos()
+{
+    const auto now = std::chrono::steady_clock::now(); // finding
+    return static_cast<std::uint64_t>(
+        now.time_since_epoch().count());
+}
+
+std::uint64_t
+ambientSeed()
+{
+    std::random_device device; // finding
+    return device();
+}
+
+int
+ambientRand()
+{
+    return rand(); // finding
+}
+
+std::uint64_t
+wallSeconds()
+{
+    return static_cast<std::uint64_t>(time(nullptr)); // finding
+}
+
+} // namespace tmo_lint_fixture

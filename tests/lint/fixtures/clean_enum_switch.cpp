@@ -1,0 +1,58 @@
+// tmo_lint fixture: switch shapes that must NOT trip
+// `enum-switch-default`: an exhaustive enum-class switch, a default
+// over plain ints, and a default over a bitmask C enum (those encode
+// open sets on purpose -- psi::TaskState, mem::PageFlags).
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace tmo_lint_fixture
+{
+
+enum class FixtureStatus { HEALTHY, DEGRADED, FAILED };
+
+enum FixtureBits : unsigned { BIT_A = 1, BIT_B = 2, BIT_C = 4 };
+
+const char *
+statusName(FixtureStatus status)
+{
+    switch (status) { // exhaustive, no default: legal
+      case FixtureStatus::HEALTHY:
+        return "healthy";
+      case FixtureStatus::DEGRADED:
+        return "degraded";
+      case FixtureStatus::FAILED:
+        return "failed";
+    }
+    return "unreachable";
+}
+
+std::uint64_t
+pickLane(int lane)
+{
+    switch (lane) { // int switch, default legal
+      case 0:
+        return 10;
+      case 1:
+        return 20;
+      default:
+        return 0;
+    }
+}
+
+std::uint64_t
+bitIndex(unsigned bit)
+{
+    switch (bit) { // bitmask C enum cases, default legal
+      case BIT_A:
+        return 0;
+      case BIT_B:
+        return 1;
+      case BIT_C:
+        return 2;
+      default:
+        throw std::logic_error("invalid bit");
+    }
+}
+
+} // namespace tmo_lint_fixture

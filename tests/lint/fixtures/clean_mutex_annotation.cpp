@@ -1,0 +1,41 @@
+// tmo_lint fixture: mutex discipline that must NOT trip
+// `mutex-annotation`: an annotated class, and a pure gate object
+// whose mutex has nothing else to protect.
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "sim/thread_annotations.hpp"
+
+namespace tmo_lint_fixture
+{
+
+class AnnotatedQueue
+{
+  public:
+    void
+    push(std::uint64_t v)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        items_.push_back(v);
+        ++pushes_;
+    }
+
+  private:
+    std::mutex mutex_;
+    std::vector<std::uint64_t> items_ GUARDED_BY(mutex_);
+    std::uint64_t pushes_ GUARDED_BY(mutex_) = 0;
+};
+
+class PureGate
+{
+  public:
+    void lock() { mutex_.lock(); }
+    void unlock() { mutex_.unlock(); }
+
+  private:
+    std::mutex mutex_; // only member: nothing to annotate, legal
+};
+
+} // namespace tmo_lint_fixture

@@ -1,0 +1,46 @@
+// tmo_lint fixture: deterministic time/randomness idioms that must
+// NOT trip the `wall-clock` check: member functions named like the
+// banned globals, and names merely containing the banned words.
+
+#include <cstdint>
+
+namespace tmo_lint_fixture
+{
+
+class SimClock
+{
+  public:
+    std::uint64_t time() const { return now_; } // member: legal
+    void advance(std::uint64_t dt) { now_ += dt; }
+
+  private:
+    std::uint64_t now_ = 0;
+};
+
+class SeededRng
+{
+  public:
+    explicit SeededRng(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t
+    rand() // member named rand: legal
+    {
+        state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+        return state_;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+std::uint64_t
+useThem()
+{
+    SimClock clock;
+    SeededRng rng(42);
+    clock.advance(7);
+    const std::uint64_t operand = rng.rand(); // member call: legal
+    return clock.time() + operand;
+}
+
+} // namespace tmo_lint_fixture

@@ -1,0 +1,44 @@
+// tmo_lint fixture: probing a hash container is legal; only
+// iteration is banned. Zero findings expected in this file.
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace tmo_lint_fixture
+{
+
+struct CgroupTag;
+
+class CleanIndex
+{
+  public:
+    bool
+    contains(const CgroupTag *cg) const
+    {
+        return indexOf_.find(cg) != indexOf_.end(); // probe: legal
+    }
+
+    std::uint64_t
+    countLive(std::uint64_t id) const
+    {
+        return live_.count(id); // probe: legal
+    }
+
+    std::uint64_t
+    sumOrdered() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto v : ordered_) // ordered container: legal
+            sum += v;
+        return sum;
+    }
+
+  private:
+    std::unordered_map<const CgroupTag *, std::uint64_t> indexOf_;
+    std::unordered_set<std::uint64_t> live_;
+    std::vector<std::uint64_t> ordered_;
+};
+
+} // namespace tmo_lint_fixture

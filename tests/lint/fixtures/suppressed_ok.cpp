@@ -1,0 +1,36 @@
+// tmo_lint fixture: a correctly-suppressed violation produces zero
+// findings; the suppression itself shows up in the census. Both
+// placements of the comment (line above, same line) are pinned.
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace tmo_lint_fixture
+{
+
+class SuppressedIndex
+{
+  public:
+    std::uint64_t
+    debugSum() const
+    {
+        std::uint64_t sum = 0;
+        // tmo-lint: allow(unordered-iteration) debug-only dump, never
+        for (const auto &entry : byId_)
+            sum += entry.second;
+        return sum;
+    }
+
+    std::uint64_t
+    firstBucket() const
+    {
+        auto it =
+            byId_.begin(); // tmo-lint: allow(unordered-iteration) diag only
+        return it == byId_.end() ? 0 : it->second;
+    }
+
+  private:
+    std::unordered_map<std::uint64_t, std::uint64_t> byId_;
+};
+
+} // namespace tmo_lint_fixture

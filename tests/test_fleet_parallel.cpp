@@ -158,6 +158,23 @@ TEST(ShardedExecutorTest, ReusableAcrossRounds)
         EXPECT_EQ(value, 10);
 }
 
+TEST(HostBuilderTest, PageKbRejectsZeroAndUint32Overflow)
+{
+    // pageBytes is 32-bit: page_kb(1 << 22) used to wrap the shift
+    // to pageBytes == 0 and divide-by-zero deep in the page-count
+    // math. The builder now rejects out-of-range sizes by name.
+    host::HostBuilder builder;
+    EXPECT_THROW(builder.page_kb(0), std::invalid_argument);
+    EXPECT_THROW(builder.page_kb(std::uint64_t{1} << 22),
+                 std::invalid_argument);
+    EXPECT_THROW(builder.page_kb(std::uint64_t{1} << 40),
+                 std::invalid_argument);
+    // The boundary value still fits: 4 GiB - 1 KiB pages are absurd
+    // but representable; 64 KiB is the stock configuration.
+    EXPECT_NO_THROW(builder.page_kb((std::uint64_t{1} << 22) - 1));
+    EXPECT_NO_THROW(builder.page_kb(64));
+}
+
 TEST(ControllerRegistryTest, KnowsTheCliVocabulary)
 {
     for (const char *name : {"none", "senpai", "senpai-aggressive",

@@ -65,8 +65,9 @@ TEST(TraceRingTest, RecordsInOrderWithMonotoneSequence)
     ASSERT_EQ(events.size(), 6u);
     for (std::size_t i = 0; i < events.size(); ++i) {
         EXPECT_EQ(events[i].seq, i);
-        if (i)
+        if (i) {
             EXPECT_GE(events[i].time, events[i - 1].time);
+        }
     }
     EXPECT_EQ(events[1].type, obs::TraceEventType::SENPAI_TICK);
     EXPECT_EQ(events[1].code, 5);

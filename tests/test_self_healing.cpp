@@ -206,17 +206,17 @@ TEST(HostRestartTest, RecoveryIsBitIdenticalAcrossJobs)
         fleet.run(6 * sim::MINUTE, jobs);
         EXPECT_TRUE(fleet.auditViolations().empty());
 
-        std::vector<double> digest;
-        digest.push_back(static_cast<double>(fleet.restartedCount()));
-        digest.push_back(static_cast<double>(fleet.failedCount()));
+        std::vector<double> values;
+        values.push_back(static_cast<double>(fleet.restartedCount()));
+        values.push_back(static_cast<double>(fleet.failedCount()));
         for (std::size_t i = 0; i < fleet.size(); ++i) {
             auto &cg = fleet.host(i).apps().front()->cgroup();
-            digest.push_back(static_cast<double>(cg.memCurrent()));
-            digest.push_back(static_cast<double>(cg.stats().pswpin));
-            digest.push_back(static_cast<double>(
+            values.push_back(static_cast<double>(cg.memCurrent()));
+            values.push_back(static_cast<double>(cg.stats().pswpin));
+            values.push_back(static_cast<double>(
                 fleet.host(i).ssd().bytesWritten()));
         }
-        return digest;
+        return values;
     };
 
     EXPECT_EQ(digest(1), digest(4));

@@ -43,8 +43,9 @@ TEST(TraceSynthesisTest, DeterministicAndSorted)
     EXPECT_GT(a.size(), 10000u);
     for (std::size_t i = 0; i < a.size(); ++i) {
         EXPECT_EQ(a[i].page, b[i].page);
-        if (i)
+        if (i) {
             EXPECT_GE(a[i].time, a[i - 1].time);
+        }
         EXPECT_LT(a[i].page, 1000u);
     }
 }

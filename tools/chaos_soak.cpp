@@ -236,10 +236,12 @@ main(int argc, char **argv)
                     // outright mid-run and loses its controller
                     // later if it came back.
                     plan.events.push_back(
-                        {static_cast<sim::SimTime>(0.3 * duration),
+                        {static_cast<sim::SimTime>(
+                             0.3 * static_cast<double>(duration)),
                          fault::FaultKind::HOST_CRASH, 0.0});
                     plan.events.push_back(
-                        {static_cast<sim::SimTime>(0.55 * duration),
+                        {static_cast<sim::SimTime>(
+                             0.55 * static_cast<double>(duration)),
                          fault::FaultKind::CONTROLLER_CRASH, 20.0});
                 }
                 plans.push_back(std::move(plan));

@@ -1,0 +1,937 @@
+#!/usr/bin/env python3
+"""tmo_lint: project-specific static checks for the TMO simulator.
+
+The fleet engine's load-bearing invariant -- runs are bit-identical
+serial vs any --jobs -- is enforced dynamically by sampled tests
+(test_fleet_parallel, test_determinism, CSV cmp jobs). This linter
+turns the *rules behind* that invariant into machine-checked ones:
+
+  unordered-iteration   Range-for / begin()/end() iteration over
+                        std::unordered_{map,set,...} in checked code.
+                        Hash-ordered iteration is pointer/seed
+                        dependent, so iterating a pointer-keyed map
+                        (e.g. MemoryManager::indexOf_) silently breaks
+                        cross-run and cross---jobs bit-identity.
+                        Probing (find/count/at/contains) is fine.
+  wall-clock            system_clock/steady_clock/high_resolution_clock
+                        ::now, time(), clock(), gettimeofday,
+                        std::random_device, rand()/srand() in checked
+                        code. Simulation code must use the sim clock
+                        and seeded sim::Rng streams only; bench/ and
+                        tools/ are exempt by path (they time and seed
+                        real-world things).
+  mutex-annotation      A std::mutex / std::shared_mutex member in a
+                        class that has other data members but not one
+                        GUARDED_BY-annotated sibling. Extends PR 1's
+                        -Wthread-safety discipline: a lock with no
+                        machine-readable statement of what it protects
+                        rots into folklore.
+  enum-switch-default   `default:` in a switch whose cases name a
+                        project `enum class` enumerator. Adding an
+                        enumerator must break the lint, not silently
+                        fall through (BackendStatus, TraceEventType,
+                        SloState, FaultKind...). Switches over ints /
+                        chars / bitmask C enums are not flagged.
+  suppression           Malformed suppression comment (unknown check
+                        name or missing reason).
+
+Suppression grammar (the reason is mandatory and the census is
+printed with --census so growth stays visible):
+
+    // tmo-lint: allow(<check-name>) <reason>
+
+on the flagged line itself or alone on the line directly above it.
+
+Engines: --engine=clang parses the real AST through clang.cindex
+against a compile_commands.json; --engine=lexer is a dependency-free
+tokenizer that the tests/lint fixtures pin golden; --engine=auto
+(default) tries clang and falls back to lexer, printing which one ran.
+Both engines emit the same findings contract:
+
+    <path>:<line>: [<check>] <message>
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import bisect
+import os
+import re
+import sys
+
+CHECKS = {
+    "unordered-iteration": "iteration over a hash-ordered container",
+    "wall-clock": "wall clock or ambient RNG in simulation code",
+    "mutex-annotation": "mutex member without GUARDED_BY sibling",
+    "enum-switch-default": "default label in a project enum switch",
+    "suppression": "malformed tmo-lint suppression comment",
+}
+
+# Paths whose components contain one of these are exempt from the
+# wall-clock check: benchmarks time real hardware and CLI tools seed
+# from the command line.
+WALL_CLOCK_EXEMPT_PARTS = {"bench", "tools"}
+
+# Intentionally-violating fixture TUs; skipped unless a CLI path
+# argument points inside them.
+FIXTURE_DIR = os.path.join("tests", "lint", "fixtures")
+
+CXX_EXTENSIONS = {".cpp", ".cc", ".cxx", ".hpp", ".hh", ".hxx", ".h"}
+
+SUPPRESS_RE = re.compile(
+    r"tmo-lint:\s*allow\(\s*([A-Za-z0-9_-]+)\s*\)\s*(.*)")
+
+UNORDERED_TYPE_RE = re.compile(
+    r"\b(?:std\s*::\s*)?unordered_(?:map|set|multimap|multiset)\s*<")
+
+# (pattern, message, is_call): is_call patterns match free-function
+# call syntax and go through the declaration heuristic so a *member*
+# named rand()/time() (sim::Rng, SimClock) is not flagged; type-name
+# patterns (chrono clocks, random_device) flag on sight.
+CLOCK_PATTERNS = [
+    (re.compile(r"\b(system_clock|steady_clock|high_resolution_clock)"
+                r"\b"),
+     "std::chrono::{0} is wall time; use the sim clock", False),
+    (re.compile(r"\b(random_device)\b"),
+     "std::{0} is ambient entropy; use a seeded sim::Rng stream",
+     False),
+    (re.compile(r"(?<![\w.:>])(rand|srand)\s*\("),
+     "{0}() is ambient global RNG; use a seeded sim::Rng stream",
+     True),
+    (re.compile(r"(?<![\w.:>])(?:std\s*::\s*)?(time)\s*\(\s*"
+                r"(?:nullptr|NULL|0)?\s*\)"),
+     "{0}() reads the wall clock; use the sim clock", True),
+    (re.compile(r"(?<![\w.:>])(clock|gettimeofday|localtime|gmtime)"
+                r"\s*\("),
+     "{0}() reads the wall clock; use the sim clock", True),
+]
+
+# Tokens that can precede a *call* but never end a declaration's
+# return type; anything else identifier-like before the name means
+# `uint64_t time()` -- a declaration of a project member, legal.
+_CALL_CONTEXT_WORDS = {"return", "co_return", "co_yield", "case",
+                       "throw", "do", "else", "and", "or", "not"}
+
+
+def _is_declaration_context(text, start):
+    """True when the call-syntax match at *start* is really a
+    function declarator (`std::uint64_t time() const`)."""
+    i = start - 1
+    while i >= 0 and text[i] in " \t\n":
+        i -= 1
+    if i < 0 or not (text[i].isalnum() or text[i] in "_>&*"):
+        return False
+    if text[i] in ">&*":
+        # `std::uint64_t *time(` / template return type: declaration.
+        return True
+    j = i
+    while j >= 0 and (text[j].isalnum() or text[j] == "_"):
+        j -= 1
+    word = text[j + 1:i + 1]
+    return word not in _CALL_CONTEXT_WORDS
+
+MUTEX_MEMBER_RE = re.compile(
+    r"\b(?:std\s*::\s*)?"
+    r"(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"shared_timed_mutex|recursive_timed_mutex)\s+"
+    r"(\w+)\s*;")
+
+ENUM_CLASS_RE = re.compile(r"\benum\s+(?:class|struct)\s+(\w+)")
+
+
+class Finding:
+    __slots__ = ("path", "line", "check", "message")
+
+    def __init__(self, path, line, check, message):
+        self.path = path
+        self.line = line
+        self.check = check
+        self.message = message
+
+    def key(self):
+        return (self.path, self.line, self.check, self.message)
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.check,
+                                   self.message)
+
+
+class Suppression:
+    __slots__ = ("path", "line", "check", "reason", "used")
+
+    def __init__(self, path, line, check, reason):
+        self.path = path
+        self.line = line
+        self.check = check
+        self.reason = reason
+        self.used = False
+
+
+# --------------------------------------------------------------------
+# Source model shared by both engines: comment/string-blanked code
+# lines plus the comment text per line (for suppressions).
+# --------------------------------------------------------------------
+
+class SourceFile:
+    def __init__(self, path, text):
+        self.path = path
+        self.lines = text.split("\n")
+        self.code_lines, self.comment_lines = _strip(text)
+
+    def wall_clock_exempt(self):
+        parts = os.path.normpath(self.path).split(os.sep)
+        return bool(WALL_CLOCK_EXEMPT_PARTS.intersection(parts))
+
+
+def _strip(text):
+    """Blank comments and string/char literals out of *text*.
+
+    Returns (code_lines, comment_lines); both have one entry per input
+    line. Comment text (without the // or /* markers) is preserved per
+    line so suppression comments stay findable.
+    """
+    n = len(text)
+    code = []
+    comments = []  # (line_index, text) fragments
+    cur_line = 0
+    i = 0
+    state = "code"  # code | line_comment | block_comment | string |
+    #                 char | raw_string
+    raw_delim = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "\n":
+            cur_line += 1
+            code.append("\n")
+            if state == "line_comment":
+                state = "code"
+            i += 1
+            continue
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                code.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                code.append("  ")
+                i += 2
+                continue
+            if c == "R" and nxt == '"':
+                m = re.match(r'R"([^(\s]*)\(', text[i:])
+                if m:
+                    raw_delim = ")" + m.group(1) + '"'
+                    state = "raw_string"
+                    code.append(" " * len(m.group(0)))
+                    i += len(m.group(0))
+                    continue
+            if c == '"':
+                state = "string"
+                code.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                code.append(" ")
+                i += 1
+                continue
+            code.append(c)
+            i += 1
+            continue
+        if state == "line_comment":
+            comments.append((cur_line, c))
+            code.append(" ")
+            i += 1
+            continue
+        if state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                code.append("  ")
+                i += 2
+                continue
+            comments.append((cur_line, c))
+            code.append(" ")
+            i += 1
+            continue
+        if state == "raw_string":
+            if text.startswith(raw_delim, i):
+                state = "code"
+                code.append(" " * len(raw_delim))
+                i += len(raw_delim)
+                continue
+            code.append(" ")
+            i += 1
+            continue
+        # string / char
+        if c == "\\":
+            code.append("  ")
+            i += 2
+            continue
+        if (state == "string" and c == '"') or (state == "char"
+                                                and c == "'"):
+            state = "code"
+        code.append(" ")
+        i += 1
+    code_lines = "".join(code).split("\n")
+    comment_lines = [""] * len(code_lines)
+    for line_idx, frag in comments:
+        comment_lines[line_idx] += frag
+    return code_lines, comment_lines
+
+
+def collect_suppressions(src, findings):
+    """Parse suppression comments in *src*; malformed ones become
+    `suppression` findings appended to *findings*."""
+    result = []
+    for idx, comment in enumerate(src.comment_lines):
+        if "tmo-lint:" not in comment:
+            continue
+        m = SUPPRESS_RE.search(comment)
+        line = idx + 1
+        if not m:
+            findings.append(Finding(
+                src.path, line, "suppression",
+                "unparseable tmo-lint comment; grammar is "
+                "'tmo-lint: allow(<check>) <reason>'"))
+            continue
+        check, reason = m.group(1), m.group(2).strip()
+        if check not in CHECKS or check == "suppression":
+            findings.append(Finding(
+                src.path, line, "suppression",
+                "unknown check '%s' in suppression (known: %s)"
+                % (check, ", ".join(sorted(c for c in CHECKS
+                                           if c != "suppression")))))
+            continue
+        if not reason:
+            findings.append(Finding(
+                src.path, line, "suppression",
+                "suppression of '%s' without a reason; say why the "
+                "rule does not apply here" % check))
+            continue
+        result.append(Suppression(src.path, line, check, reason))
+    return result
+
+
+def apply_suppressions(findings, suppressions):
+    """Drop findings covered by a same-line or line-above suppression.
+
+    Returns (kept, suppressed_count)."""
+    by_site = {}
+    for sup in suppressions:
+        by_site.setdefault((sup.path, sup.check), []).append(sup)
+    kept = []
+    suppressed = 0
+    for finding in findings:
+        sups = by_site.get((finding.path, finding.check), [])
+        hit = None
+        for sup in sups:
+            # Same line, or a standalone comment directly above.
+            if sup.line in (finding.line, finding.line - 1):
+                hit = sup
+                break
+        if hit is not None:
+            hit.used = True
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed
+
+
+# --------------------------------------------------------------------
+# Lexer engine
+# --------------------------------------------------------------------
+
+def _balanced_span(text, start, open_ch, close_ch):
+    """Index just past the matching *close_ch* for the *open_ch* at
+    text[start], or -1."""
+    assert text[start] == open_ch
+    depth = 0
+    for i in range(start, len(text)):
+        if text[i] == open_ch:
+            depth += 1
+        elif text[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def _line_of(offsets, pos):
+    """1-based line for char offset *pos* given line-start offsets."""
+    return bisect.bisect_right(offsets, pos)
+
+
+def _line_offsets(text):
+    offsets = [0]
+    for i, c in enumerate(text):
+        if c == "\n":
+            offsets.append(i + 1)
+    return offsets
+
+
+def lexer_collect_unordered_names(sources):
+    """Names of variables/members declared (or typedef'd) with an
+    unordered container type, across all files."""
+    names = set()
+    alias_types = set()
+    for src in sources:
+        text = "\n".join(src.code_lines)
+        for m in UNORDERED_TYPE_RE.finditer(text):
+            lt = text.index("<", m.start())
+            end = _balanced_span(text, lt, "<", ">")
+            if end < 0:
+                continue
+            # `using Alias = std::unordered_map<...>;`
+            before = text[max(0, m.start() - 160):m.start()]
+            alias = re.search(r"\busing\s+(\w+)\s*=\s*$", before)
+            if alias:
+                alias_types.add(alias.group(1))
+                continue
+            tail = text[end:end + 200]
+            dm = re.match(r"\s*(?:\*|&)?\s*(\w+)\s*[;={(]", tail)
+            if dm and dm.group(1) not in ("const", "final"):
+                names.add(dm.group(1))
+    if alias_types:
+        alias_re = re.compile(
+            r"\b(" + "|".join(sorted(alias_types)) + r")\s+(\w+)\s*[;={]")
+        for src in sources:
+            text = "\n".join(src.code_lines)
+            for m in alias_re.finditer(text):
+                names.add(m.group(2))
+    return names
+
+
+def lexer_check_unordered_iteration(src, unordered_names, findings):
+    text = "\n".join(src.code_lines)
+    offsets = _line_offsets(text)
+    # Range-for over a known unordered name (or an explicit temporary).
+    for m in re.finditer(
+            r"\bfor\s*\(([^;()]*?):\s*([^)]*)\)", text):
+        expr = m.group(2).strip()
+        base = re.match(r"(?:\*|&)?\s*(?:this\s*->\s*)?(\w+)", expr)
+        flagged = (UNORDERED_TYPE_RE.search(expr) is not None
+                   or (base and base.group(1) in unordered_names
+                       and "." not in expr and "->" not in expr))
+        if flagged:
+            findings.append(Finding(
+                src.path, _line_of(offsets, m.start()),
+                "unordered-iteration",
+                "range-for over hash-ordered container '%s'; "
+                "iteration order is pointer/seed dependent and breaks "
+                "bit-identical replay -- probe it or iterate a "
+                "deterministically-ordered index instead"
+                % (base.group(1) if base else expr)))
+    # Explicit iterator walk starts at begin(); a bare end() is the
+    # find()-sentinel probe idiom and stays legal.
+    for m in re.finditer(
+            r"\b(\w+)\s*\.\s*(c?r?begin)\s*\(\s*\)", text):
+        if m.group(1) in unordered_names:
+            findings.append(Finding(
+                src.path, _line_of(offsets, m.start()),
+                "unordered-iteration",
+                "%s() on hash-ordered container '%s'; iteration order "
+                "is pointer/seed dependent and breaks bit-identical "
+                "replay" % (m.group(2), m.group(1))))
+
+
+def lexer_check_wall_clock(src, findings):
+    if src.wall_clock_exempt():
+        return
+    text = "\n".join(src.code_lines)
+    offsets = _line_offsets(text)
+    for pattern, message, is_call in CLOCK_PATTERNS:
+        for m in pattern.finditer(text):
+            if is_call and _is_declaration_context(text, m.start()):
+                continue
+            findings.append(Finding(
+                src.path, _line_of(offsets, m.start()), "wall-clock",
+                message.format(m.group(1))))
+
+
+def _strip_angle_spans(line):
+    """Remove balanced <...> spans so template-arg parens don't look
+    like function declarations."""
+    out = []
+    depth = 0
+    for c in line:
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth = max(0, depth - 1)
+        elif depth == 0:
+            out.append(c)
+    return "".join(out)
+
+
+_MEMBER_SKIP_RE = re.compile(
+    r"^\s*(public|private|protected|using|typedef|friend|template|"
+    r"static_assert|enum|class|struct|namespace|return|if|else|for|"
+    r"while|switch|case|default|break|continue|goto|do|try|catch)\b")
+
+
+def _is_data_member(line):
+    """Heuristic: a class-depth statement line declaring a data
+    member (not a function/alias/access label)."""
+    stripped = line.strip()
+    if not stripped.endswith(";") or _MEMBER_SKIP_RE.match(stripped):
+        return False
+    no_annot = re.sub(
+        r"\b(?:PT_)?GUARDED_BY\s*\([^)]*\)", "", stripped)
+    flat = _strip_angle_spans(no_annot)
+    if "(" in flat.split("=", 1)[0]:
+        # Parens before any initializer: function declaration (or a
+        # function-pointer member -- rare enough to ignore).
+        return False
+    return re.search(r"\w\s+[*&]?\s*\w+\s*(=[^=].*)?;$", flat) is not None
+
+
+def lexer_check_mutex_annotation(src, findings):
+    text = "\n".join(src.code_lines)
+    offsets = _line_offsets(text)
+    for m in re.finditer(
+            r"(?<!enum )\b(?:class|struct)\s+\w[\w:<>,\s]*?[{;]", text):
+        decl = m.group(0)
+        if decl.endswith(";"):  # forward declaration
+            continue
+        open_brace = m.start() + len(decl) - 1
+        end = _balanced_span(text, open_brace, "{", "}")
+        if end < 0:
+            continue
+        body = text[open_brace + 1:end - 1]
+        # Keep only class-depth code (drop nested {...} bodies) so
+        # locals inside member functions are not mistaken for members.
+        flat_chars = []
+        depth = 0
+        for c in body:
+            if c == "{":
+                depth += 1
+                flat_chars.append(" ")
+            elif c == "}":
+                depth -= 1
+                flat_chars.append(" ")
+            else:
+                flat_chars.append(c if depth == 0 else
+                                  ("\n" if c == "\n" else " "))
+        flat = "".join(flat_chars)
+        mutexes = list(MUTEX_MEMBER_RE.finditer(flat))
+        if not mutexes:
+            continue
+        has_guarded = "GUARDED_BY" in flat
+        member_lines = [ln for ln in flat.split("\n")
+                        if _is_data_member(ln)]
+        # Members beyond the mutex declarations themselves?
+        others = len(member_lines) - len(mutexes)
+        if others > 0 and not has_guarded:
+            for mm in mutexes:
+                findings.append(Finding(
+                    src.path,
+                    _line_of(offsets, open_brace + 1 + mm.start()),
+                    "mutex-annotation",
+                    "std::%s member '%s' but no GUARDED_BY-annotated "
+                    "sibling; annotate what it protects (see "
+                    "sim/thread_annotations.hpp)"
+                    % (mm.group(1), mm.group(2))))
+
+
+def lexer_collect_enum_classes(sources):
+    names = set()
+    for src in sources:
+        text = "\n".join(src.code_lines)
+        for m in ENUM_CLASS_RE.finditer(text):
+            names.add(m.group(1))
+    return names
+
+
+def lexer_check_enum_switch(src, enum_classes, findings):
+    text = "\n".join(src.code_lines)
+    offsets = _line_offsets(text)
+    if not enum_classes:
+        return
+    case_re = re.compile(
+        r"\bcase\s+(?:[\w:]*\b(" + "|".join(sorted(enum_classes)) +
+        r")\s*::)")
+
+    def scan_switch(start):
+        """Analyze the switch at *start*; returns scan end."""
+        paren = text.find("(", start)
+        if paren < 0:
+            return start + 6
+        after_cond = _balanced_span(text, paren, "(", ")")
+        if after_cond < 0:
+            return start + 6
+        brace = text.find("{", after_cond)
+        if brace < 0 or text[after_cond:brace].strip():
+            return after_cond
+        end = _balanced_span(text, brace, "{", "}")
+        if end < 0:
+            return after_cond
+        body = text[brace + 1:end - 1]
+        # Split out nested switches first (their labels are theirs).
+        flat_chars = []
+        i = 0
+        while i < len(body):
+            m = re.match(r"\bswitch\b", body[i:])
+            if m and re.search(r"\bswitch\b", body[i:i + 7]):
+                nested_end = scan_switch(brace + 1 + i)
+                skip = nested_end - (brace + 1 + i)
+                flat_chars.append(" " * max(skip, 6))
+                i += max(skip, 6)
+                continue
+            flat_chars.append(body[i])
+            i += 1
+        flat = "".join(flat_chars)
+        enum_cases = case_re.search(flat)
+        if enum_cases:
+            dm = re.search(r"\bdefault\s*:", flat)
+            if dm:
+                findings.append(Finding(
+                    src.path,
+                    _line_of(offsets, brace + 1 + dm.start()),
+                    "enum-switch-default",
+                    "default label in a switch over enum class '%s'; "
+                    "enumerate every case so a new enumerator breaks "
+                    "the lint instead of silently falling through"
+                    % enum_cases.group(1)))
+        return end
+
+    pos = 0
+    while True:
+        m = re.search(r"\bswitch\b", text[pos:])
+        if not m:
+            break
+        pos = pos + m.start()
+        pos = max(scan_switch(pos), pos + 6)
+
+
+def run_lexer_engine(sources):
+    findings = []
+    unordered = lexer_collect_unordered_names(sources)
+    enum_classes = lexer_collect_enum_classes(sources)
+    for src in sources:
+        lexer_check_unordered_iteration(src, unordered, findings)
+        lexer_check_wall_clock(src, findings)
+        lexer_check_mutex_annotation(src, findings)
+        lexer_check_enum_switch(src, enum_classes, findings)
+    return findings
+
+
+# --------------------------------------------------------------------
+# Clang AST engine (preferred when python clang bindings + a
+# compile_commands.json are available; CI installs them, the dev
+# container may not -- `--engine=auto` then falls back to the lexer).
+# --------------------------------------------------------------------
+
+def run_clang_engine(sources, compile_commands_dir):
+    import clang.cindex as ci
+
+    index = ci.Index.create()
+    db = ci.CompilationDatabase.fromDirectory(compile_commands_dir)
+    wanted = {os.path.abspath(s.path): s for s in sources}
+    findings = []
+    seen = set()
+
+    def add(cursor, check, message):
+        loc = cursor.location
+        if loc.file is None:
+            return
+        path = os.path.abspath(loc.file.name)
+        if path not in wanted:
+            return
+        src = wanted[path]
+        key = (src.path, loc.line, check, message)
+        if key in seen:
+            return
+        seen.add(key)
+        findings.append(Finding(src.path, loc.line, check, message))
+
+    def type_is_unordered(ctype):
+        spelling = ctype.get_canonical().spelling
+        return "unordered_map<" in spelling or \
+            "unordered_set<" in spelling or \
+            "unordered_multimap<" in spelling or \
+            "unordered_multiset<" in spelling
+
+    def enum_class_of(ctype):
+        decl = ctype.get_canonical().get_declaration()
+        if decl.kind == ci.CursorKind.ENUM_DECL and \
+                decl.is_scoped_enum():
+            f = decl.location.file
+            if f and os.path.abspath(f.name) in wanted:
+                return decl.spelling
+        return None
+
+    CLOCK_FNS = {
+        "rand": "rand() is ambient global RNG; use a seeded "
+                "sim::Rng stream",
+        "srand": "srand() is ambient global RNG; use a seeded "
+                 "sim::Rng stream",
+        "time": "time() reads the wall clock; use the sim clock",
+        "clock": "clock() reads the wall clock; use the sim clock",
+        "gettimeofday": "gettimeofday() reads the wall clock; use "
+                        "the sim clock",
+    }
+    CLOCK_TYPES = ("std::chrono::system_clock",
+                   "std::chrono::steady_clock",
+                   "std::chrono::high_resolution_clock")
+
+    def visit(cursor, src_exempt):
+        kind = cursor.kind
+        if kind == ci.CursorKind.CXX_FOR_RANGE_STMT:
+            children = list(cursor.get_children())
+            if children and type_is_unordered(children[0].type):
+                add(cursor, "unordered-iteration",
+                    "range-for over hash-ordered container; iteration "
+                    "order is pointer/seed dependent and breaks "
+                    "bit-identical replay -- probe it or iterate a "
+                    "deterministically-ordered index instead")
+        elif kind == ci.CursorKind.CALL_EXPR:
+            name = cursor.spelling
+            # begin() only: a bare end() is the find()-sentinel probe.
+            if name in ("begin", "cbegin", "rbegin"):
+                args = list(cursor.get_children())
+                if args and type_is_unordered(args[0].type):
+                    add(cursor, "unordered-iteration",
+                        "%s() on hash-ordered container; iteration "
+                        "order is pointer/seed dependent and breaks "
+                        "bit-identical replay" % name)
+            if not src_exempt and name in CLOCK_FNS:
+                ref = cursor.referenced
+                if ref is not None:
+                    f = ref.location.file
+                    if f is None or \
+                            os.path.abspath(f.name) not in wanted:
+                        add(cursor, "wall-clock", CLOCK_FNS[name])
+        elif not src_exempt and kind in (
+                ci.CursorKind.DECL_REF_EXPR, ci.CursorKind.TYPE_REF):
+            spelling = cursor.type.get_canonical().spelling \
+                if kind == ci.CursorKind.TYPE_REF else \
+                (cursor.referenced.semantic_parent.spelling
+                 if cursor.referenced and
+                 cursor.referenced.semantic_parent else "")
+            full = cursor.type.get_canonical().spelling
+            if "random_device" in full or "random_device" in spelling:
+                add(cursor, "wall-clock",
+                    "std::random_device is ambient entropy; use a "
+                    "seeded sim::Rng stream")
+            elif any(c in full or c in spelling for c in CLOCK_TYPES):
+                add(cursor, "wall-clock",
+                    "wall-time chrono clock; use the sim clock")
+        elif kind in (ci.CursorKind.CLASS_DECL,
+                      ci.CursorKind.STRUCT_DECL) and \
+                cursor.is_definition():
+            check_class(cursor)
+        elif kind == ci.CursorKind.SWITCH_STMT:
+            check_switch(cursor)
+        for child in cursor.get_children():
+            f = child.location.file
+            if f is not None and os.path.abspath(f.name) in wanted:
+                child_exempt = wanted[
+                    os.path.abspath(f.name)].wall_clock_exempt()
+                visit(child, child_exempt)
+
+    MUTEX_TYPES = ("std::mutex", "std::shared_mutex",
+                   "std::recursive_mutex", "std::timed_mutex",
+                   "std::shared_timed_mutex",
+                   "std::recursive_timed_mutex")
+
+    def check_class(cursor):
+        fields = [c for c in cursor.get_children()
+                  if c.kind == ci.CursorKind.FIELD_DECL]
+        mutexes = [f for f in fields
+                   if f.type.get_canonical().spelling.replace(
+                       "class ", "") in MUTEX_TYPES or
+                   f.type.spelling in MUTEX_TYPES]
+        if not mutexes or len(fields) <= len(mutexes):
+            return
+        # GUARDED_BY shows up as an (unexposed) attribute; token-scan
+        # the class extent, which also catches annotated members that
+        # libclang folds away.
+        toks = {t.spelling for t in cursor.get_tokens()}
+        if "GUARDED_BY" in toks or "guarded_by" in toks:
+            return
+        for mtx in mutexes:
+            add(mtx, "mutex-annotation",
+                "std::%s member '%s' but no GUARDED_BY-annotated "
+                "sibling; annotate what it protects (see "
+                "sim/thread_annotations.hpp)"
+                % (mtx.type.spelling.split("::")[-1], mtx.spelling))
+
+    def check_switch(cursor):
+        children = list(cursor.get_children())
+        if not children:
+            return
+        cond = children[0]
+        ename = enum_class_of(cond.type)
+        if ename is None:
+            return
+
+        def find_default(c, depth=0):
+            for ch in c.get_children():
+                if ch.kind == ci.CursorKind.DEFAULT_STMT:
+                    return ch
+                if ch.kind == ci.CursorKind.SWITCH_STMT:
+                    continue  # nested switch owns its own labels
+                found = find_default(ch, depth + 1)
+                if found is not None:
+                    return found
+            return None
+
+        body = children[-1]
+        dflt = find_default(body)
+        if dflt is not None:
+            add(dflt, "enum-switch-default",
+                "default label in a switch over enum class '%s'; "
+                "enumerate every case so a new enumerator breaks the "
+                "lint instead of silently falling through" % ename)
+
+    tus = []
+    for path in sorted(wanted):
+        if os.path.splitext(path)[1] not in (".cpp", ".cc", ".cxx"):
+            continue
+        cmds = db.getCompileCommands(path)
+        if not cmds:
+            continue
+        cmd = list(cmds)[0]
+        args = [a for a in list(cmd.arguments)[1:]
+                if a not in ("-c", "-o", path)]
+        # Drop the -o target argument pair remnants.
+        cleaned = []
+        skip = False
+        for a in args:
+            if skip:
+                skip = False
+                continue
+            if a == "-o":
+                skip = True
+                continue
+            cleaned.append(a)
+        tus.append((path, cleaned))
+    if not tus:
+        raise RuntimeError(
+            "no checked .cpp file appears in compile_commands.json")
+    for path, tu_args in tus:
+        tu = index.parse(path, args=tu_args)
+        src = wanted[path]
+        visit(tu.cursor, src.wall_clock_exempt())
+    # Header-only findings: headers never appear as TU main files but
+    # are visited through the including TU above; nothing more to do.
+    return findings
+
+
+# --------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------
+
+def gather_files(paths):
+    files = []
+    for root in paths:
+        if os.path.isfile(root):
+            files.append(os.path.normpath(root))
+            continue
+        if not os.path.isdir(root):
+            print("tmo_lint: no such path: %s" % root,
+                  file=sys.stderr)
+            raise SystemExit(2)
+        explicit_fixture = FIXTURE_DIR in os.path.normpath(root)
+        for dirpath, dirnames, filenames in os.walk(root):
+            norm = os.path.normpath(dirpath)
+            if not explicit_fixture and FIXTURE_DIR in norm:
+                dirnames[:] = []
+                continue
+            dirnames.sort()
+            for name in sorted(filenames):
+                if os.path.splitext(name)[1] in CXX_EXTENSIONS:
+                    files.append(os.path.join(norm, name))
+    return sorted(set(files))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="tmo_lint.py",
+        description="Project-specific determinism/threading lints "
+                    "for the TMO simulator.")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to lint "
+                             "(default: src tests)")
+    parser.add_argument("--engine", choices=("auto", "clang", "lexer"),
+                        default="auto",
+                        help="AST engine: clang (libclang + compile "
+                             "DB), lexer (dependency-free), or auto "
+                             "(clang when available, else lexer)")
+    parser.add_argument("--compile-commands", metavar="DIR",
+                        default="build",
+                        help="directory holding compile_commands.json "
+                             "for the clang engine (default: build)")
+    parser.add_argument("--census", action="store_true",
+                        help="print the suppression census (every "
+                             "tmo-lint: allow site with its reason)")
+    parser.add_argument("--list-checks", action="store_true",
+                        help="list check names and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_checks:
+        for name in sorted(CHECKS):
+            print("%-22s %s" % (name, CHECKS[name]))
+        return 0
+
+    paths = args.paths or ["src", "tests"]
+    files = gather_files(paths)
+    if not files:
+        print("tmo_lint: no C++ sources under: %s" % " ".join(paths),
+              file=sys.stderr)
+        return 2
+
+    sources = []
+    for path in files:
+        try:
+            with open(path, encoding="utf-8", errors="replace") as fh:
+                sources.append(SourceFile(path, fh.read()))
+        except OSError as exc:
+            print("tmo_lint: cannot read %s: %s" % (path, exc),
+                  file=sys.stderr)
+            return 2
+
+    engine = args.engine
+    findings = None
+    if engine in ("auto", "clang"):
+        try:
+            findings = run_clang_engine(sources, args.compile_commands)
+            engine = "clang"
+        except Exception as exc:  # ImportError, missing DB, API drift
+            if args.engine == "clang":
+                print("tmo_lint: clang engine failed: %s" % exc,
+                      file=sys.stderr)
+                return 2
+            print("tmo_lint: clang engine unavailable (%s); "
+                  "falling back to lexer engine" % exc,
+                  file=sys.stderr)
+            engine = "lexer"
+    if findings is None:
+        findings = run_lexer_engine(sources)
+
+    suppressions = []
+    for src in sources:
+        suppressions.extend(collect_suppressions(src, findings))
+    findings, suppressed = apply_suppressions(findings, suppressions)
+    findings.sort(key=Finding.key)
+
+    for finding in findings:
+        print(finding)
+    print("tmo_lint[%s]: %d file(s), %d finding(s), %d suppressed"
+          % (engine, len(sources), len(findings), suppressed))
+    if args.census or suppressions:
+        print("suppression census: %d site(s)" % len(suppressions))
+        for sup in sorted(suppressions,
+                          key=lambda s: (s.path, s.line)):
+            print("  %s:%d: allow(%s)%s %s"
+                  % (sup.path, sup.line, sup.check,
+                     "" if sup.used else " [UNUSED]", sup.reason))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
