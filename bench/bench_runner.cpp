@@ -51,7 +51,10 @@
 #include "cgroup/cgroup.hpp"
 #include "core/senpai.hpp"
 #include "core/workingset_profiler.hpp"
+#include "host/fleet.hpp"
+#include "host/fleet_spec.hpp"
 #include "host/host.hpp"
+#include "stats/histogram.hpp"
 #include "mem/memory_manager.hpp"
 #include "psi/psi.hpp"
 #include "sim/rng.hpp"
@@ -109,23 +112,39 @@ medianNs(int reps, Fn &&fn)
     return times[times.size() / 2];
 }
 
-/** Peak resident set size of this process, bytes (0 off-Linux). */
+/** A field of /proc/self/status in bytes (0 off-Linux / missing). */
 double
-peakRssBytes()
+procStatusBytes(const char *key)
 {
 #ifdef __linux__
     std::ifstream status("/proc/self/status");
     std::string line;
+    const std::string prefix = std::string(key) + ":";
     while (std::getline(status, line)) {
-        if (line.rfind("VmHWM:", 0) == 0) {
-            std::istringstream fields(line.substr(6));
+        if (line.rfind(prefix, 0) == 0) {
+            std::istringstream fields(line.substr(prefix.size()));
             double kb = 0.0;
             fields >> kb;
             return kb * 1024.0;
         }
     }
 #endif
+    (void)key;
     return 0.0;
+}
+
+/** Peak resident set size of this process, bytes (0 off-Linux). */
+double
+peakRssBytes()
+{
+    return procStatusBytes("VmHWM");
+}
+
+/** Current resident set size, bytes (fleet-scale per-host deltas). */
+double
+currentRssBytes()
+{
+    return procStatusBytes("VmRSS");
 }
 
 /**
@@ -539,6 +558,96 @@ runServingBench(Report &report, sim::SimTime minutes)
     report.checks["request_p99_us"] = p99_us;
 }
 
+/**
+ * Fleet scale-out: throughput of the sharded engine plus hierarchical
+ * aggregation (hosts x simulated seconds per wall second at --jobs 4)
+ * and resident bytes per host (page-table SoA compaction +
+ * reservation). The same serving fleet runs serially and under
+ * --jobs 4; both runs aggregate per-host metrics and the merged
+ * request-latency histogram, and the digests must match exactly —
+ * the hierarchical gather is bit-identical to the flat host walk.
+ * That lands in `checks` as fleet_scale_serial_parallel_equal, which
+ * tools/bench_check.py hard-gates at 1.0.
+ */
+void
+runFleetScaleBench(Report &report, bool quick)
+{
+    const std::size_t hosts = quick ? 96 : 256;
+    const sim::SimTime duration = (quick ? 1 : 2) * sim::MINUTE;
+
+    struct FleetRun {
+        std::vector<double> digest;
+        double wall_ns = 0.0;
+        double rss_delta = 0.0;
+    };
+    const auto runOnce = [&](unsigned jobs) {
+        FleetRun out;
+        const double rss_before = currentRssBytes();
+        host::Fleet fleet = host::FleetSpec{}
+                                .hosts(hosts)
+                                .epoch(30 * sim::SEC)
+                                .name_prefix("scale")
+                                .ram_mb(128)
+                                .page_kb(64)
+                                .cpus(8)
+                                .seed(42)
+                                .backend(host::AnonMode::ZSWAP)
+                                .workload("feed", 96)
+                                .traffic("flat:rps=30")
+                                .controller("senpai")
+                                .build();
+        fleet.start();
+        const auto start = Clock::now();
+        fleet.run(duration, jobs);
+        // Aggregation is part of the measured path: the hierarchical
+        // gather is what keeps wide fleets from serializing here.
+        out.digest = fleet.collect([](host::Host &machine) {
+            return static_cast<double>(
+                machine.apps().front()->cgroup().memCurrent());
+        });
+        const stats::Histogram lat = fleet.mergeHistograms(
+            [](host::Host &machine)
+                -> std::vector<const stats::Histogram *> {
+                std::vector<const stats::Histogram *> hists;
+                for (const auto &app : machine.apps())
+                    if (app->servingRequests())
+                        hists.push_back(&app->requests().latencyUs);
+                return hists;
+            });
+        out.wall_ns = elapsedNs(start, Clock::now());
+        out.rss_delta = currentRssBytes() - rss_before;
+        out.digest.push_back(static_cast<double>(lat.count()));
+        out.digest.push_back(lat.min());
+        out.digest.push_back(lat.max());
+        out.digest.push_back(lat.mean());
+        out.digest.push_back(lat.p50());
+        out.digest.push_back(lat.p99());
+        out.digest.push_back(lat.p999());
+        return out;
+    };
+
+    // Serial first: its RSS delta is measured from a clean slate (the
+    // allocator retains the first fleet's arenas, so a second run's
+    // delta would undercount).
+    const FleetRun serial = runOnce(1);
+    const FleetRun parallel = runOnce(4);
+
+    const double sim_sec = sim::toSeconds(duration);
+    report.metrics["fleet_scale_host_sim_sec_per_wall_sec"] = {
+        parallel.wall_ns > 0.0 ? static_cast<double>(hosts) * sim_sec /
+                                     (parallel.wall_ns / 1e9)
+                               : 0.0,
+        "host*s/s", "higher"};
+    report.metrics["fleet_scale_rss_bytes_per_host"] = {
+        serial.rss_delta / static_cast<double>(hosts), "B", "lower"};
+    report.checks["fleet_scale_hosts"] = static_cast<double>(hosts);
+    report.checks["fleet_scale_serial_parallel_equal"] =
+        serial.digest == parallel.digest ? 1.0 : 0.0;
+    // Bit-stable anchor: total requests the fleet served.
+    report.checks["fleet_scale_request_count"] =
+        serial.digest[hosts]; // first histogram slot after the hosts
+}
+
 std::string
 jsonNumber(double v)
 {
@@ -632,6 +741,7 @@ main(int argc, char **argv)
     runTierChainBench(report);
     runFigWorkload(report, quick ? 3 : 10);
     runServingBench(report, quick ? 3 : 8);
+    runFleetScaleBench(report, quick);
     report.metrics["peak_rss_mb"] =
         {peakRssBytes() / (1024.0 * 1024.0), "MiB", "lower"};
 

@@ -1,6 +1,7 @@
 #include "host/fleet.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <iostream>
 
 namespace tmo::host
@@ -17,6 +18,16 @@ mixSeed(std::uint64_t seed, std::size_t index)
     return seed * 0x2545f4914f6cdd1dull +
            (index + 1) * 0x9e3779b97f4a7c15ull;
 }
+
+/**
+ * Hosts per aggregation group. Fixed by fleet size only — NEVER by
+ * the job count — so the partial boundaries (and with them any
+ * floating-point fold order) are identical for every --jobs value.
+ * 64 hosts per group keeps per-group work coarse enough to amortize
+ * executor dispatch while a 100k-host fleet still fans out over
+ * ~1.5k groups.
+ */
+constexpr std::size_t GROUP_HOSTS = 64;
 
 } // namespace
 
@@ -105,22 +116,79 @@ Fleet::traces()
     return hosts;
 }
 
-std::vector<stats::TimeSeries>
-Fleet::metricSeries() const
+std::size_t
+Fleet::aggGroupCount() const
 {
-    std::vector<stats::TimeSeries> merged;
-    for (const auto &shard : shards_) {
-        const obs::MetricSampler *sampler = shard.host->sampler();
-        if (!sampler)
-            continue;
-        for (const stats::TimeSeries *series : sampler->series()) {
-            stats::TimeSeries copy(shard.host->name() + "." +
-                                   series->name());
-            for (const stats::Sample &sample : series->samples())
-                copy.record(sample.time, sample.value);
-            merged.push_back(std::move(copy));
+    return (shards_.size() + GROUP_HOSTS - 1) / GROUP_HOSTS;
+}
+
+void
+Fleet::forEachShardGroup(
+    const std::function<void(std::size_t, std::size_t, std::size_t)>
+        &group_fn)
+{
+    const std::size_t groups = aggGroupCount();
+    if (groups == 0)
+        return;
+    // A worker lane must not unwind through parallelFor (no handler
+    // there — it would terminate): capture per group, rethrow on the
+    // calling thread after the barrier, first group in order wins.
+    std::vector<std::exception_ptr> errors(groups);
+    const auto run_group = [&](std::size_t g) {
+        const std::size_t begin = g * GROUP_HOSTS;
+        const std::size_t end =
+            std::min(begin + GROUP_HOSTS, shards_.size());
+        try {
+            group_fn(g, begin, end);
+        } catch (...) {
+            errors[g] = std::current_exception();
         }
+    };
+    if (executor_ && groups > 1) {
+        executor_->parallelFor(groups, run_group);
+    } else {
+        for (std::size_t g = 0; g < groups; ++g)
+            run_group(g);
     }
+    for (const auto &error : errors)
+        if (error)
+            std::rethrow_exception(error);
+}
+
+std::vector<stats::TimeSeries>
+Fleet::metricSeries()
+{
+    // Each group copies its hosts' series into its own partial slot
+    // (exclusively owned by the lane running the group); the partials
+    // are then spliced in group order, preserving the host-index then
+    // metric-name order of the historical serial walk.
+    std::vector<std::vector<stats::TimeSeries>> partials(
+        aggGroupCount());
+    forEachShardGroup([&](std::size_t g, std::size_t begin,
+                          std::size_t end) {
+        std::vector<stats::TimeSeries> &part = partials[g];
+        for (std::size_t i = begin; i < end; ++i) {
+            const Shard &shard = shards_[i];
+            const obs::MetricSampler *sampler = shard.host->sampler();
+            if (!sampler)
+                continue;
+            for (const stats::TimeSeries *series : sampler->series()) {
+                stats::TimeSeries copy(shard.host->name() + "." +
+                                       series->name());
+                for (const stats::Sample &sample : series->samples())
+                    copy.record(sample.time, sample.value);
+                part.push_back(std::move(copy));
+            }
+        }
+    });
+    std::vector<stats::TimeSeries> merged;
+    std::size_t total = 0;
+    for (const auto &part : partials)
+        total += part.size();
+    merged.reserve(total);
+    for (auto &part : partials)
+        for (auto &series : part)
+            merged.push_back(std::move(series));
     return merged;
 }
 
@@ -316,17 +384,31 @@ Fleet::permanentlyFailedCount() const
 std::vector<double>
 Fleet::collect(const std::function<double(Host &)> &metric)
 {
-    std::vector<double> values;
-    values.reserve(shards_.size());
+    // Hierarchical gather: each fixed contiguous shard group builds
+    // its value vector in host-index order on an executor lane, and
+    // the partials concatenate in group order — exactly the flat
+    // host-index walk, value for value, for any --jobs.
     // Failed hosts are frozen at their failure time; folding them
     // into a fleet percentile would mix stale samples into a
     // distribution taken "now". Skip them — availability is reported
-    // separately via failedCount().
-    for (auto &shard : shards_) {
-        if (shard.failed)
-            continue;
-        values.push_back(metric(*shard.host));
-    }
+    // separately via failedCount(). With every host failed the result
+    // is empty: consumers report "no data", not values[0].
+    std::vector<std::vector<double>> partials(aggGroupCount());
+    forEachShardGroup([&](std::size_t g, std::size_t begin,
+                          std::size_t end) {
+        std::vector<double> &part = partials[g];
+        part.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+            Shard &shard = shards_[i];
+            if (shard.failed)
+                continue;
+            part.push_back(metric(*shard.host));
+        }
+    });
+    std::vector<double> values;
+    values.reserve(shards_.size());
+    for (const auto &part : partials)
+        values.insert(values.end(), part.begin(), part.end());
     return values;
 }
 
@@ -335,20 +417,47 @@ Fleet::mergeHistograms(
     const std::function<std::vector<const stats::Histogram *>(Host &)>
         &pick)
 {
+    // Hierarchical merge: every group pre-merges its hosts'
+    // histograms (host-index order) into a private partial; the
+    // partials combine in group order. Bucket counts are uint64 sums
+    // and min/max are extremum folds — order-invariant — so counts
+    // and every quantile are bit-identical to the flat host-index
+    // merge for any --jobs; the mean's double summation order is
+    // pinned by the fleet-size-only partition.
+    struct Partial {
+        stats::Histogram hist;
+        bool any = false;
+    };
+    std::vector<Partial> partials(aggGroupCount());
+    forEachShardGroup([&](std::size_t g, std::size_t begin,
+                          std::size_t end) {
+        Partial &part = partials[g];
+        for (std::size_t i = begin; i < end; ++i) {
+            Shard &shard = shards_[i];
+            if (shard.failed)
+                continue;
+            for (const stats::Histogram *hist : pick(*shard.host)) {
+                if (!hist)
+                    continue;
+                if (!part.any) {
+                    part.hist = *hist;
+                    part.any = true;
+                } else {
+                    part.hist.merge(*hist);
+                }
+            }
+        }
+    });
     stats::Histogram merged;
     bool first = true;
-    for (auto &shard : shards_) {
-        if (shard.failed)
+    for (const Partial &part : partials) {
+        if (!part.any)
             continue;
-        for (const stats::Histogram *hist : pick(*shard.host)) {
-            if (!hist)
-                continue;
-            if (first) {
-                merged = *hist;
-                first = false;
-            } else {
-                merged.merge(*hist);
-            }
+        if (first) {
+            merged = part.hist;
+            first = false;
+        } else {
+            merged.merge(part.hist);
         }
     }
     return merged;

@@ -167,6 +167,17 @@ class Fleet
      * return the values (for exactQuantile-style cluster
      * percentiles). Call between run() epochs: all shards are then at
      * the same simulated time.
+     *
+     * Gathering is hierarchical: fixed contiguous shard groups each
+     * produce their partial on an executor lane (when the last run()
+     * was parallel) and the partials are concatenated in group order
+     * — exactly the flat host-index walk, so the result is
+     * bit-identical for any --jobs. @p metric may therefore run
+     * concurrently on DIFFERENT hosts; it must only touch the host it
+     * is handed, never shared mutable state.
+     *
+     * The result is empty when every host has failed — consumers must
+     * report "no data" rather than index into it.
      */
     std::vector<double> collect(
         const std::function<double(Host &)> &metric);
@@ -176,9 +187,15 @@ class Fleet
      * request-latency p50/p99/p999 over every request the fleet
      * served, not an average of per-host percentiles. @p pick may
      * return several histograms per host (one per serving app);
-     * failed shards are skipped like collect(). Hosts are visited in
-     * host-index order and histogram merging is commutative bucket
-     * addition, so the result is bit-identical for any --jobs.
+     * failed shards are skipped like collect(). Merging is
+     * hierarchical (see collect()): each fixed shard group pre-merges
+     * its hosts' histograms in host-index order on an executor lane,
+     * and the per-group partials are combined in group order. Bucket
+     * counts and min/max — hence count() and every quantile — are
+     * order-invariant integer/extremum folds, so results are
+     * bit-identical for any --jobs; the mean's summation order is
+     * fixed by the fleet-size-only partition, never the job count.
+     * @p pick runs concurrently on different hosts like @p metric.
      * All picked histograms must share one bucket geometry; the
      * result is empty when no host contributes.
      */
@@ -206,9 +223,12 @@ class Fleet
     /**
      * Every host's sampled metric series merged under
      * "<host-name>." prefixes, in host-index then metric-name order.
-     * Copies — safe to keep past further run() epochs.
+     * Copies — safe to keep past further run() epochs. The copies are
+     * made hierarchically (see collect()): per shard group on the
+     * executor, concatenated in group order, so a 100k-host dump
+     * scales with cores instead of serializing the whole fleet.
      */
-    std::vector<stats::TimeSeries> metricSeries() const;
+    std::vector<stats::TimeSeries> metricSeries();
 
   private:
     /** One host with its private clock. */
@@ -244,6 +264,23 @@ class Fleet
      *  invariant violation only). */
     void dumpTraceExcerpt(const Shard &shard) const;
 
+    /**
+     * Hierarchical-aggregation fan-out: invoke
+     * @p group_fn(group, begin, end) once per fixed contiguous shard
+     * group [begin, end), on the executor when one exists (serially
+     * otherwise). The partition depends only on the fleet size —
+     * never on --jobs or worker scheduling — so group partials are
+     * deterministic. Exceptions thrown by a group are captured on its
+     * lane and rethrown here in group order (worker lanes must not
+     * unwind through parallelFor).
+     */
+    void forEachShardGroup(
+        const std::function<void(std::size_t, std::size_t,
+                                 std::size_t)> &group_fn);
+
+    /** Number of fixed aggregation groups for the current fleet. */
+    std::size_t aggGroupCount() const;
+
     // Threading discipline (audited by tools/tmo_lint.py check
     // `mutex-annotation` and clang's -Wthread-safety): Fleet holds no
     // mutex on purpose. During run() a shard is touched by exactly
@@ -254,7 +291,12 @@ class Fleet
     // member a worker lane may touch must be per-shard state inside
     // Shard, never fleet-global — a fleet-global accumulator written
     // from the epoch lambda would need a lock and would break
-    // bit-identity across --jobs.
+    // bit-identity across --jobs. Hierarchical aggregation
+    // (forEachShardGroup) follows the same rule between epochs: each
+    // group's partial slot is exclusively owned by the lane running
+    // that group, hosts are read-shared never written, and the
+    // barrier publishes the partials back to the calling thread,
+    // which combines them in group order.
     sim::SimTime epoch_ = sim::MINUTE;
     sim::SimTime now_ = 0;
     /** Ring capacity for hosts added later; 0 = tracing off. */

@@ -317,6 +317,13 @@ Host::addAppOnChain(const workload::AppProfile &profile,
     } else {
         mm_.attach(cg, nullptr, &fs_, profile.compressibility);
     }
+    // Pre-size the page table for this app's declared footprint (plus
+    // a little churn slack): steady-state growth then never
+    // reallocates mid-run, which matters at millions of pages per
+    // host. Growing past the reservation stays legal, just slower.
+    const std::uint64_t footprint_pages =
+        profile.footprintBytes / config_.mem.pageBytes + 64;
+    mm_.reservePages(mm_.pages().size() + footprint_pages);
     apps_.push_back(std::make_unique<workload::AppModel>(
         sim_, mm_, cg, profile, config_.cpus,
         config_.seed ^ (apps_.size() + 1) * 0x9e37u, config_.appTick,

@@ -36,8 +36,14 @@ MemoryManager::attach(cgroup::Cgroup &cg,
                       backend::OffloadBackend *file_backend,
                       double compressibility)
 {
+    // Page::memcg is 16 bits and 0xffff is the free-slot sentinel:
+    // one more attach would silently wrap the id and corrupt every
+    // page it tags, so refuse loudly with the offender's name.
     if (memcgs_.size() >= 0xffff)
-        throw std::length_error("too many memory cgroups");
+        throw std::length_error(
+            "memcg table full (65535 cgroups): cannot attach '" +
+            cg.name() + "' — Page::memcg is 16-bit with 0xffff "
+                        "reserved as the free-slot sentinel");
     if (indexOf_.count(&cg))
         throw std::invalid_argument("cgroup already attached: " +
                                     cg.name());
@@ -169,8 +175,15 @@ MemoryManager::registerBackend(backend::OffloadBackend *be)
     const auto it = std::find(backends_.begin(), backends_.end(), be);
     if (it != backends_.end())
         return static_cast<std::uint8_t>(it - backends_.begin());
+    // Page::store is 8 bits and 0xff is the "no backend" sentinel:
+    // registering past it would alias the sentinel and misroute every
+    // fault on pages stored there, so reject at registration time
+    // (tier registries included — chains register each tier here).
     if (backends_.size() >= 0xff)
-        throw std::length_error("too many offload backends");
+        throw std::length_error(
+            "offload backend registry full (255 backends): cannot "
+            "register '" + be->name() + "' — Page::store is 8-bit "
+            "with 0xff reserved as the none sentinel");
     backends_.push_back(be);
     return static_cast<std::uint8_t>(backends_.size() - 1);
 }
@@ -203,15 +216,28 @@ MemoryManager::ramUsed() const
 }
 
 void
-MemoryManager::makeResident(Page &page, PageIdx idx, MemCg &mcg,
-                            LruKind kind)
+MemoryManager::makeResident(PageIdx idx, MemCg &mcg, LruKind kind)
 {
+    // Fetch by index: callers reach this after reclaim/backend calls
+    // that may have reallocated the page table.
+    Page &page = pages_[idx];
     page.where = Where::RAM;
     page.storedBytes = 0;
     page.store = 0xff;
     mcg.lru.attachHead(pages_, idx, kind);
     mcg.cg->charge(config_.pageBytes);
     ++residentPages_;
+}
+
+void
+MemoryManager::reservePages(std::uint64_t page_count)
+{
+    const auto want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(page_count, NO_PAGE));
+    if (want <= pages_.capacity())
+        return;
+    pages_.reserve(want);
+    shadowAges_.reserve(want);
 }
 
 sim::SimTime
@@ -296,28 +322,34 @@ MemoryManager::newPage(cgroup::Cgroup &cg, bool anon, bool resident,
         idx = freeSlots_.back();
         freeSlots_.pop_back();
         pages_[idx] = Page{};
+        shadowAges_[idx] = 0;
     } else {
         if (pages_.size() >= NO_PAGE)
             throw std::length_error("page table full");
         idx = static_cast<PageIdx>(pages_.size());
         pages_.emplace_back();
+        shadowAges_.push_back(0);
     }
-    Page &page = pages_[idx];
-    page.memcg = mcg.index;
-    page.flags = anon ? PG_ANON : 0;
-    mcg.ages.touch(pages_, idx, now);
-
-    if (!resident) {
-        page.where = Where::FS;
-        return idx;
+    {
+        Page &page = pages_[idx];
+        page.memcg = mcg.index;
+        page.flags = anon ? PG_ANON : 0;
+        mcg.ages.touch(pages_, idx, now);
+        if (!resident) {
+            page.where = Where::FS;
+            return idx;
+        }
     }
 
     AccessResult local;
     local.memStall += enforceLimit(cg, config_.pageBytes, now);
     local.memStall += ensureRoom(config_.pageBytes, now);
+    // No Page reference may be held across the reclaim above: evicting
+    // into a backend can allocate pages (growing pages_), so residency
+    // is applied by index.
     // New pages start on the inactive list and earn activation by
     // reference, like the post-5.x kernel.
-    makeResident(page, idx, mcg,
+    makeResident(idx, mcg,
                  anon ? LruKind::INACTIVE_ANON : LruKind::INACTIVE_FILE);
     if (result)
         *result = local;
@@ -361,6 +393,10 @@ MemoryManager::access(PageIdx idx, sim::SimTime now)
     }
 
     // --- fault path ---------------------------------------------------
+    // The virtual backend load() calls below may allocate pages and
+    // reallocate pages_, so `page` must not be dereferenced past them:
+    // everything the accounting needs is copied out first, and later
+    // writes go through pages_[idx].
     result.faulted = true;
 
     backend::LoadResult load;
@@ -379,16 +415,18 @@ MemoryManager::access(PageIdx idx, sim::SimTime now)
             touchHeat(page, heatEpochAt(now, config_.heatDecayPeriod),
                       2);
         backend::OffloadBackend *be = backends_[page.store];
-        load = be->load(page.storedBytes, now);
-        if (page.where == Where::ZSWAP) {
-            mcg.zswapBytes -= std::min<std::uint64_t>(mcg.zswapBytes,
-                                                      page.storedBytes);
+        const std::uint32_t stored = page.storedBytes;
+        const bool in_zswap = page.where == Where::ZSWAP;
+        load = be->load(stored, now);
+        if (in_zswap) {
+            mcg.zswapBytes -=
+                std::min<std::uint64_t>(mcg.zswapBytes, stored);
             // Compressed copy freed: uncharge its DRAM share.
-            mcg.cg->uncharge(page.storedBytes);
+            mcg.cg->uncharge(stored);
             ++mcg.cg->stats().zswpin;
         } else {
-            mcg.swapBytes -= std::min<std::uint64_t>(mcg.swapBytes,
-                                                     page.storedBytes);
+            mcg.swapBytes -=
+                std::min<std::uint64_t>(mcg.swapBytes, stored);
         }
         ++mcg.cg->stats().pswpin;
         mcg.swapinRate.add(1.0, now);
@@ -405,12 +443,12 @@ MemoryManager::access(PageIdx idx, sim::SimTime now)
         // inactive so they do not pollute the active list. The
         // working-set flag doubles as the warmth signal for tiered
         // placement (§5.2).
-        if (page.shadowAge != 0 &&
-            mcg.nonresidentAgeAnon - page.shadowAge <=
+        if (shadowAges_[idx] != 0 &&
+            mcg.nonresidentAgeAnon - shadowAges_[idx] <=
                 mcg.lru.totalPages()) {
             result.refault = true;
             ++mcg.cg->stats().wsRefaultAnon;
-            page.flags |= PG_WORKINGSET;
+            pages_[idx].flags |= PG_WORKINGSET;
             target = LruKind::ACTIVE_ANON;
         } else {
             target = LruKind::INACTIVE_ANON;
@@ -423,9 +461,9 @@ MemoryManager::access(PageIdx idx, sim::SimTime now)
         ++mcg.cg->stats().pgfilefault;
         result.ioStall += load.latency;
         // Refault detection via shadow entry (§3.4).
-        if (page.shadowAge != 0) {
+        if (shadowAges_[idx] != 0) {
             const std::uint64_t distance =
-                mcg.nonresidentAge - page.shadowAge;
+                mcg.nonresidentAge - shadowAges_[idx];
             const std::uint64_t workingset = mcg.lru.totalPages();
             if (distance <= workingset) {
                 result.refault = true;
@@ -437,7 +475,7 @@ MemoryManager::access(PageIdx idx, sim::SimTime now)
                 // Waiting for recently evicted cache is lost work due
                 // to lack of memory, not merely IO.
                 result.memStall += load.latency;
-                page.flags |= PG_WORKINGSET;
+                pages_[idx].flags |= PG_WORKINGSET;
                 target = LruKind::ACTIVE_FILE;
             } else {
                 target = LruKind::INACTIVE_FILE;
@@ -471,17 +509,22 @@ MemoryManager::access(PageIdx idx, sim::SimTime now)
 
     result.memStall += enforceLimit(*mcg.cg, config_.pageBytes, now);
     result.memStall += ensureRoom(config_.pageBytes, now);
-    makeResident(page, idx, mcg, target);
+    makeResident(idx, mcg, target);
     return result;
 }
 
 void
 MemoryManager::freePage(PageIdx idx)
 {
-    Page &page = pages_[idx];
-    MemCg &mcg = *memcgs_[page.memcg];
-    tierListRemove(mcg, idx, page);
-    switch (page.where) {
+    MemCg &mcg = *memcgs_[pages_[idx].memcg];
+    tierListRemove(mcg, idx, pages_[idx]);
+    // Copy what the release path needs before the virtual release()
+    // call — backend implementations must not be trusted to leave the
+    // page table's allocation alone.
+    const Where where = pages_[idx].where;
+    const std::uint8_t store = pages_[idx].store;
+    const std::uint32_t stored = pages_[idx].storedBytes;
+    switch (where) {
       case Where::RAM:
         mcg.lru.detach(pages_, idx);
         mcg.cg->uncharge(config_.pageBytes);
@@ -489,17 +532,16 @@ MemoryManager::freePage(PageIdx idx)
         --residentPages_;
         break;
       case Where::ZSWAP:
-        if (page.store < backends_.size())
-            backends_[page.store]->release(page.storedBytes);
-        mcg.zswapBytes -= std::min<std::uint64_t>(mcg.zswapBytes,
-                                                  page.storedBytes);
-        mcg.cg->uncharge(page.storedBytes);
+        if (store < backends_.size())
+            backends_[store]->release(stored);
+        mcg.zswapBytes -=
+            std::min<std::uint64_t>(mcg.zswapBytes, stored);
+        mcg.cg->uncharge(stored);
         break;
       case Where::SWAP:
-        if (page.store < backends_.size())
-            backends_[page.store]->release(page.storedBytes);
-        mcg.swapBytes -= std::min<std::uint64_t>(mcg.swapBytes,
-                                                 page.storedBytes);
+        if (store < backends_.size())
+            backends_[store]->release(stored);
+        mcg.swapBytes -= std::min<std::uint64_t>(mcg.swapBytes, stored);
         break;
       case Where::FS:
         break;
@@ -509,6 +551,7 @@ MemoryManager::freePage(PageIdx idx)
         break;
     }
     mcg.ages.remove(pages_, idx);
+    Page &page = pages_[idx];
     page.where = Where::FS;
     page.storedBytes = 0;
     page.store = 0xff;
@@ -644,7 +687,7 @@ MemoryManager::idleBreakdown(const cgroup::Cgroup &cg,
 }
 
 sim::SimTime
-MemoryManager::tierMovePage(MemCg &mcg, PageIdx idx, Page &page,
+MemoryManager::tierMovePage(MemCg &mcg, PageIdx idx,
                             std::size_t from, std::size_t target,
                             std::size_t stop, sim::SimTime now)
 {
@@ -656,27 +699,32 @@ MemoryManager::tierMovePage(MemCg &mcg, PageIdx idx, Page &page,
                                      mcg.compressibility, now);
     if (!cs.result.accepted)
         return NO_MOVE;
-    assert(page.store < backends_.size());
-    backend::OffloadBackend *source = backends_[page.store];
-    const auto load = source->load(page.storedBytes, now);
+    // Copy the source identity before the virtual load: both device
+    // calls may allocate pages and reallocate the page table.
+    const std::uint32_t src_bytes = pages_[idx].storedBytes;
+    const bool src_zswap = pages_[idx].where == Where::ZSWAP;
+    assert(pages_[idx].store < backends_.size());
+    backend::OffloadBackend *source = backends_[pages_[idx].store];
+    const auto load = source->load(src_bytes, now);
 
     // Ownership of storedBytes transfers atomically: uncharge the
     // source representation, then charge the destination's. Workload-
     // visible fault counters (pswpin & co.) stay untouched — moves
     // are background work, not faults.
-    if (page.where == Where::ZSWAP) {
-        mcg.zswapBytes -= std::min<std::uint64_t>(mcg.zswapBytes,
-                                                  page.storedBytes);
-        mcg.cg->uncharge(page.storedBytes);
+    if (src_zswap) {
+        mcg.zswapBytes -=
+            std::min<std::uint64_t>(mcg.zswapBytes, src_bytes);
+        mcg.cg->uncharge(src_bytes);
     } else {
         mcg.swapBytes -= std::min<std::uint64_t>(mcg.swapBytes,
-                                                 page.storedBytes);
+                                                 src_bytes);
     }
     mcg.tierLists[from].remove(pages_, idx);
     auto &from_bytes = mcg.tierBytes[from];
-    from_bytes -= std::min<std::uint64_t>(from_bytes, page.storedBytes);
+    from_bytes -= std::min<std::uint64_t>(from_bytes, src_bytes);
 
     const auto to = static_cast<std::size_t>(cs.tierIndex);
+    Page &page = pages_[idx];
     page.storedBytes = static_cast<std::uint32_t>(cs.result.storedBytes);
     page.store = registerBackend(cs.tier);
     if (cs.tier->storesInHostDram()) {
@@ -698,26 +746,31 @@ MemoryManager::tierMovePage(MemCg &mcg, PageIdx idx, Page &page,
 }
 
 void
-MemoryManager::losePage(MemCg &mcg, PageIdx idx, Page &page)
+MemoryManager::losePage(MemCg &mcg, PageIdx idx)
 {
     // Drop the dead copy's accounting but keep the logical page alive
     // (still on the age list): the loss is explicit — the next access
-    // is a hard major fault, never silent corruption.
-    tierListRemove(mcg, idx, page);
-    if (page.store < backends_.size())
-        backends_[page.store]->release(page.storedBytes);
-    if (page.where == Where::ZSWAP) {
-        mcg.zswapBytes -= std::min<std::uint64_t>(mcg.zswapBytes,
-                                                  page.storedBytes);
-        mcg.cg->uncharge(page.storedBytes);
-    } else if (page.where == Where::SWAP) {
-        mcg.swapBytes -= std::min<std::uint64_t>(mcg.swapBytes,
-                                                 page.storedBytes);
+    // is a hard major fault, never silent corruption. Addressed by
+    // index across the virtual release() call, like every other path
+    // that talks to a backend.
+    tierListRemove(mcg, idx, pages_[idx]);
+    const Where where = pages_[idx].where;
+    const std::uint8_t store = pages_[idx].store;
+    const std::uint32_t stored = pages_[idx].storedBytes;
+    if (store < backends_.size())
+        backends_[store]->release(stored);
+    if (where == Where::ZSWAP) {
+        mcg.zswapBytes -=
+            std::min<std::uint64_t>(mcg.zswapBytes, stored);
+        mcg.cg->uncharge(stored);
+    } else if (where == Where::SWAP) {
+        mcg.swapBytes -= std::min<std::uint64_t>(mcg.swapBytes, stored);
     }
+    Page &page = pages_[idx];
     page.where = Where::LOST;
     page.store = 0xff;
     page.storedBytes = 0;
-    page.shadowAge = 0;
+    shadowAges_[idx] = 0;
     ++mcg.lostPages;
     ++mcg.cg->stats().tierLost;
 }
@@ -752,14 +805,15 @@ MemoryManager::tierMaintain(cgroup::Cgroup &cg, sim::SimTime now)
         PageIdx cur = mcg.tierLists[i].tail();
         while (cur != NO_PAGE && examined < batch &&
                budget >= config_.pageBytes) {
-            Page &page = pages_[cur];
-            const PageIdx warmer = page.prev;
+            // Walk pointer first: the move below talks to backends and
+            // may reallocate the page table.
+            const PageIdx warmer = pages_[cur].prev;
             ++examined;
             ++scanned;
-            const auto latency = tierMovePage(mcg, cur, page, i, 0,
+            const auto latency = tierMovePage(mcg, cur, i, 0,
                                               chain->size(), now);
             if (latency == NO_MOVE) {
-                losePage(mcg, cur, page);
+                losePage(mcg, cur);
                 ++outcome.lostPages;
                 chain->noteLost(1);
             } else {
@@ -784,16 +838,15 @@ MemoryManager::tierMaintain(cgroup::Cgroup &cg, sim::SimTime now)
         PageIdx cur = mcg.tierLists[i].tail();
         while (cur != NO_PAGE && examined < batch &&
                budget >= config_.pageBytes) {
-            Page &page = pages_[cur];
-            const PageIdx warmer = page.prev;
+            const PageIdx warmer = pages_[cur].prev;
             ++examined;
             ++scanned;
             const int target = chain->placementIndex(
-                decayedHeat(page, epoch),
-                page.flags & PG_WORKINGSET);
+                decayedHeat(pages_[cur], epoch),
+                pages_[cur].flags & PG_WORKINGSET);
             if (target > static_cast<int>(i)) {
                 const auto latency = tierMovePage(
-                    mcg, cur, page, i,
+                    mcg, cur, i,
                     static_cast<std::size_t>(target), chain->size(),
                     now);
                 if (latency == NO_MOVE)
@@ -819,16 +872,15 @@ MemoryManager::tierMaintain(cgroup::Cgroup &cg, sim::SimTime now)
         PageIdx cur = mcg.tierLists[i].head();
         while (cur != NO_PAGE && examined < batch &&
                budget >= config_.pageBytes) {
-            Page &page = pages_[cur];
-            const PageIdx colder = page.next;
+            const PageIdx colder = pages_[cur].next;
             ++examined;
             ++scanned;
             const int target = chain->placementIndex(
-                decayedHeat(page, epoch),
-                page.flags & PG_WORKINGSET);
+                decayedHeat(pages_[cur], epoch),
+                pages_[cur].flags & PG_WORKINGSET);
             if (target < static_cast<int>(i)) {
                 const auto latency = tierMovePage(
-                    mcg, cur, page, i,
+                    mcg, cur, i,
                     static_cast<std::size_t>(target), i, now);
                 if (latency == NO_MOVE)
                     break; // faster tiers still full

@@ -292,6 +292,15 @@ class MemoryManager
                     sim::SimTime now, AccessResult *result = nullptr);
 
     /**
+     * Pre-size the page table (and its parallel cold arrays) for
+     * @p page_count total pages so steady-state growth never
+     * reallocates mid-run. Called by the Host for each app's declared
+     * footprint; growing past the reservation stays correct (newPage
+     * reallocates as before), just slower. Capped at NO_PAGE.
+     */
+    void reservePages(std::uint64_t page_count);
+
+    /**
      * Touch a page: LRU bookkeeping on hit, full fault path on miss
      * (backend read, refault detection, residency charge).
      */
@@ -377,6 +386,21 @@ class MemoryManager
     std::vector<Page> &pages() { return pages_; }
     const std::vector<Page> &pages() const { return pages_; }
 
+    /**
+     * Shadow entry of page @p idx (SoA cold array): the cgroup's
+     * non-resident age when the page was last evicted, 0 = never
+     * evicted. Refault distance is the difference to the cgroup's
+     * current age (§3.4). Kept out of struct Page so the hot
+     * LRU/reclaim path stays one cache line per page.
+     */
+    std::uint64_t shadowAge(PageIdx idx) const { return shadowAges_[idx]; }
+
+    /** Overwrite a page's shadow entry (tests). */
+    void setShadowAge(PageIdx idx, std::uint64_t age)
+    {
+        shadowAges_[idx] = age;
+    }
+
     /** Per-cgroup state; cg must be attached. */
     MemCg &memcgOf(const cgroup::Cgroup &cg);
     const MemCg &memcgOf(const cgroup::Cgroup &cg) const;
@@ -411,8 +435,13 @@ class MemoryManager
     sim::SimTime enforceLimit(cgroup::Cgroup &cg, std::uint64_t bytes,
                               sim::SimTime now);
 
-    /** Make a page resident and charge it. */
-    void makeResident(Page &page, PageIdx idx, MemCg &mcg, LruKind kind);
+    /**
+     * Make page @p idx resident and charge it. Takes the index, not a
+     * Page reference: callers typically arrive here after reclaim or
+     * backend calls that may have grown pages_ and invalidated any
+     * outstanding reference.
+     */
+    void makeResident(PageIdx idx, MemCg &mcg, LruKind kind);
 
     /** Core shrink loop, shared by all reclaim entry points. */
     ReclaimOutcome shrinkMemCg(MemCg &mcg, std::uint64_t target_bytes,
@@ -439,9 +468,11 @@ class MemoryManager
      * check), then load-free the source copy, keeping all cgroup
      * byte accounting (zswap DRAM charge, swap slots, endurance)
      * consistent across the move. Returns the device time, or
-     * NO_MOVE when no tier accepted.
+     * NO_MOVE when no tier accepted. Addressed by index only: the
+     * virtual store/load calls may allocate pages (reallocating
+     * pages_), so no Page reference survives them.
      */
-    sim::SimTime tierMovePage(MemCg &mcg, PageIdx idx, Page &page,
+    sim::SimTime tierMovePage(MemCg &mcg, PageIdx idx,
                               std::size_t from, std::size_t target,
                               std::size_t stop, sim::SimTime now);
 
@@ -451,13 +482,25 @@ class MemoryManager
      * tier's accounting and park the page in Where::LOST, where the
      * next access is a hard major fault instead of silent corruption.
      */
-    void losePage(MemCg &mcg, PageIdx idx, Page &page);
+    void losePage(MemCg &mcg, PageIdx idx);
 
     MemoryConfig config_;
     sim::Rng rng_;
     std::vector<Page> pages_;
+    /**
+     * Cold SoA companion to pages_ (same indexing): shadow entries for
+     * refault detection. Touched only on eviction and refault, so the
+     * hot reclaim scan stays within the 40-byte Page line.
+     */
+    std::vector<std::uint64_t> shadowAges_;
     /** Recycled page-table slots (freed pages). */
     std::vector<PageIdx> freeSlots_;
+    /**
+     * Scratch for the batched reclaim scan: the tail indices gathered
+     * per shrink batch. A member (not a local) so the hot loop never
+     * allocates; sized scanBatch. Single-threaded like everything here.
+     */
+    std::vector<PageIdx> scanScratch_;
     std::vector<std::unique_ptr<MemCg>> memcgs_;
     /**
      * Cgroup -> memcg index, filled at attach time: memcgOf() and the

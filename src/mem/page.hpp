@@ -83,8 +83,12 @@ lruIsActive(LruKind kind)
 }
 
 /**
- * One logical page. Kept small (56 bytes) because hosts hold hundreds
- * of thousands of them.
+ * One logical page — the *hot* per-page state only. Kept small (40
+ * bytes, pinned below) because hosts hold millions of them and reclaim
+ * walks them by the cache line. Cold, rarely-touched state lives in
+ * parallel arrays owned by the MemoryManager (SoA layout): the shadow
+ * age (refault detection, read only on eviction and refault) is in
+ * `MemoryManager::shadowAges_`, addressed by the same PageIdx.
  */
 struct Page {
     /** LRU linkage (indices into the host page array). */
@@ -111,7 +115,7 @@ struct Page {
      * Saturating hotness counter for tiered placement (TPP-style):
      * bumped on faults and activations, halved per elapsed decay
      * epoch (see decayedHeat). Lives in what used to be struct
-     * padding, so the Page stays 48 bytes.
+     * padding, so the Page stays 40 bytes.
      */
     std::uint8_t heat = 0;
     /** Decay epoch heat was last normalized to (wrapping uint8; a
@@ -119,12 +123,6 @@ struct Page {
     std::uint8_t heatEpoch = 0;
     /** Bytes occupied in the offload backend while offloaded. */
     std::uint32_t storedBytes = 0;
-    /**
-     * Shadow entry: the cgroup's non-resident age when this file page
-     * was last evicted (0 = never evicted). Refault distance is the
-     * difference to the current age (§3.4).
-     */
-    std::uint64_t shadowAge = 0;
     /** Last access time, for idle/coldness tracking (Fig. 2). */
     sim::SimTime lastAccess = 0;
 
@@ -132,6 +130,15 @@ struct Page {
     bool referenced() const { return flags & PG_REFERENCED; }
     bool resident() const { return where == Where::RAM; }
 };
+
+/**
+ * Fleet-scale footprint pin: 16 bytes of LRU/age linkage, 8 bytes of
+ * packed ids and state, 4 bytes storedBytes (+4 padding), 8 bytes
+ * lastAccess. A size bump here multiplies across every page of every
+ * host — split new cold fields into a manager-side array instead.
+ */
+static_assert(sizeof(Page) == 40, "Page grew past 40 bytes; "
+                                  "move cold fields to SoA arrays");
 
 /** Decay epoch at @p now for the given decay period. */
 inline std::uint8_t

@@ -98,18 +98,21 @@ MemoryManager::shrinkMemCg(MemCg &mcg, std::uint64_t target_bytes,
     const std::uint8_t heat_epoch =
         heatEpochAt(now, config_.heatDecayPeriod);
 
-    auto evict_anon = [&](PageIdx idx, Page &page) -> bool {
+    auto evict_anon = [&](PageIdx idx) -> bool {
         // Tiered placement (§5.2): the chain picks an entry tier from
         // the page's decayed heat (or the legacy working-set rule for
         // AnonMode shims) and a rejected store — incompressible data,
         // pool cap, full partition — falls through down the chain.
+        // The victim is addressed by index only: the virtual store()
+        // below may allocate pages and reallocate the page table, so
+        // no Page reference is held across it.
         backend::OffloadBackend *be = mcg.anonBackend;
         backend::StoreResult store;
         int chain_tier = -1;
         if (tier::TierChain *chain = mcg.anonChain) {
             const int start = chain->placementIndex(
-                decayedHeat(page, heat_epoch),
-                page.flags & PG_WORKINGSET);
+                decayedHeat(pages_[idx], heat_epoch),
+                pages_[idx].flags & PG_WORKINGSET);
             const auto cs = chain->storeFrom(
                 static_cast<std::size_t>(start), config_.pageBytes,
                 mcg.compressibility, now);
@@ -135,9 +138,10 @@ MemoryManager::shrinkMemCg(MemCg &mcg, std::uint64_t target_bytes,
         mcg.cg->uncharge(config_.pageBytes);
         assert(residentPages_ > 0);
         --residentPages_;
+        Page &page = pages_[idx]; // fresh past the virtual store
         page.storedBytes = static_cast<std::uint32_t>(store.storedBytes);
         // Anon shadow entry for workingset detection on swap-in.
-        page.shadowAge = ++mcg.nonresidentAgeAnon;
+        shadowAges_[idx] = ++mcg.nonresidentAgeAnon;
         page.store = registerBackend(be);
         if (be->storesInHostDram()) {
             page.where = Where::ZSWAP;
@@ -167,13 +171,14 @@ MemoryManager::shrinkMemCg(MemCg &mcg, std::uint64_t target_bytes,
         return true;
     };
 
-    auto evict_file = [&](PageIdx idx, Page &page) -> bool {
+    auto evict_file = [&](PageIdx idx) -> bool {
         // Dirty pages need writeback first (compressibility < 0 flags
         // writeback to the filesystem backend). A failed or erroring
         // device rejects the writeback: the page must then stay dirty
         // AND resident — dropping it would lose the only up-to-date
         // copy (§4 graceful degradation, mirroring the anon path).
-        if (page.flags & PG_DIRTY) {
+        // Index-addressed across the virtual store(), like evict_anon.
+        if (pages_[idx].flags & PG_DIRTY) {
             const auto wb =
                 mcg.fileBackend->store(config_.pageBytes, -1.0, now);
             if (!wb.accepted) {
@@ -184,16 +189,16 @@ MemoryManager::shrinkMemCg(MemCg &mcg, std::uint64_t target_bytes,
                 mcg.lru.attachHead(pages_, idx, LruKind::ACTIVE_FILE);
                 return false;
             }
-            page.flags &= ~PG_DIRTY;
+            pages_[idx].flags &= ~PG_DIRTY;
         }
         mcg.lru.detach(pages_, idx);
         mcg.cg->uncharge(config_.pageBytes);
         assert(residentPages_ > 0);
         --residentPages_;
-        page.where = Where::FS;
+        pages_[idx].where = Where::FS;
         // Shadow entry: remember the eviction age for refault
         // detection on the next fault of this page.
-        page.shadowAge = ++mcg.nonresidentAge;
+        shadowAges_[idx] = ++mcg.nonresidentAge;
         ++mcg.cg->stats().pgfilesteal;
         return true;
     };
@@ -214,26 +219,50 @@ MemoryManager::shrinkMemCg(MemCg &mcg, std::uint64_t target_bytes,
         LruList &inactive = mcg.lru.list(inactive_kind);
         const std::uint32_t batch = static_cast<std::uint32_t>(
             std::min<std::size_t>(config_.scanBatch, inactive.size()));
+        // Batched scan: gather the batch's indices in one prefetched
+        // pointer walk from the cold tail, then evict from the local
+        // batch — each Page cache line is pulled once, up front,
+        // instead of a dependent tail() chase per iteration. The visit
+        // order is identical to re-reading tail() every time: second-
+        // chance rotation, eviction, and store-reject activation only
+        // relink the page just consumed (or an active-list victim),
+        // never the uncollected remainder of the inactive chain.
+        scanScratch_.clear();
+        if (scanScratch_.capacity() < batch)
+            scanScratch_.reserve(config_.scanBatch);
+        for (PageIdx cur = inactive.tail();
+             cur != NO_PAGE && scanScratch_.size() < batch;) {
+            const PageIdx warmer = pages_[cur].prev;
+#if defined(__GNUC__) || defined(__clang__)
+            if (warmer != NO_PAGE)
+                __builtin_prefetch(&pages_[warmer]);
+#endif
+            scanScratch_.push_back(cur);
+            cur = warmer;
+        }
         for (std::uint32_t i = 0; i < batch && evicted < want; ++i) {
-            const PageIdx idx = inactive.tail();
-            Page &page = pages_[idx];
+            const PageIdx idx = scanScratch_[i];
             ++outcome.scannedPages;
             ++mcg.cg->stats().pgscan;
 
-            if (page.referenced()) {
+            if (pages_[idx].referenced()) {
                 // Second chance: clear and rotate to the list head.
-                page.flags &= ~PG_REFERENCED;
+                pages_[idx].flags &= ~PG_REFERENCED;
                 inactive.moveToHead(pages_, idx);
                 ++mcg.cg->stats().pgrotate;
                 continue;
             }
 
-            const bool ok = page.isAnon() ? evict_anon(idx, page)
-                                          : evict_file(idx, page);
+            // Latch the type before eviction: the outcome accounting
+            // below must not dereference a page whose eviction may
+            // have reallocated the table.
+            const bool is_anon = pages_[idx].isAnon();
+            const bool ok =
+                is_anon ? evict_anon(idx) : evict_file(idx);
             if (ok) {
                 ++evicted;
                 ++mcg.cg->stats().pgsteal;
-                if (page.isAnon())
+                if (is_anon)
                     ++outcome.anonPages;
                 else
                     ++outcome.filePages;
@@ -249,8 +278,7 @@ MemoryManager::shrinkMemCg(MemCg &mcg, std::uint64_t target_bytes,
                     LruList &active = mcg.lru.list(active_kind);
                     if (!active.empty()) {
                         const PageIdx victim = active.tail();
-                        Page &vpage = pages_[victim];
-                        vpage.flags &= ~PG_REFERENCED;
+                        pages_[victim].flags &= ~PG_REFERENCED;
                         // The victim is examined and evicted like any
                         // scanned page: it must count towards the
                         // scan totals, or max_scan and the
@@ -259,13 +287,15 @@ MemoryManager::shrinkMemCg(MemCg &mcg, std::uint64_t target_bytes,
                         ++outcome.scannedPages;
                         ++mcg.cg->stats().pgscan;
                         ++mcg.cg->stats().pgdeactivate;
-                        const bool vok =
-                            vpage.isAnon() ? evict_anon(victim, vpage)
-                                           : evict_file(victim, vpage);
+                        const bool victim_anon =
+                            pages_[victim].isAnon();
+                        const bool vok = victim_anon
+                                             ? evict_anon(victim)
+                                             : evict_file(victim);
                         if (vok) {
                             ++evicted;
                             ++mcg.cg->stats().pgsteal;
-                            if (vpage.isAnon())
+                            if (victim_anon)
                                 ++outcome.anonPages;
                             else
                                 ++outcome.filePages;

@@ -89,6 +89,23 @@ fmtPercent(double fraction, int precision)
 }
 
 std::string
+fmtQuantile(const std::vector<double> &values, double q, int precision)
+{
+    if (values.empty())
+        return "no data";
+    return fmt(exactQuantile(values, q), precision);
+}
+
+std::string
+fmtQuantilePercent(const std::vector<double> &values, double q,
+                   int precision)
+{
+    if (values.empty())
+        return "no data";
+    return fmtPercent(exactQuantile(values, q), precision);
+}
+
+std::string
 fmtBytes(double bytes)
 {
     static const char *units[] = {"B", "KiB", "MiB", "GiB", "TiB"};

@@ -52,6 +52,21 @@ std::string fmtPercent(double fraction, int precision = 1);
 std::string fmtBytes(double bytes);
 
 /**
+ * Format the @p q quantile of @p values, or "no data" when the value
+ * set is empty — e.g. after every host of a fleet failed,
+ * Fleet::collect returns nothing and a report cell must say so
+ * instead of pretending the quantile is 0. Non-empty sets use
+ * exactQuantile's closest-rank interpolation: one value answers every
+ * q with itself, two values interpolate linearly between them.
+ */
+std::string fmtQuantile(const std::vector<double> &values, double q,
+                        int precision = 2);
+
+/** fmtQuantile with the percent formatting of fmtPercent. */
+std::string fmtQuantilePercent(const std::vector<double> &values,
+                               double q, int precision = 1);
+
+/**
  * Print several aligned time series as columns:
  * time_s, series[0], series[1], ... one row per sample of the first
  * series (others are matched by index).

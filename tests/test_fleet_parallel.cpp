@@ -11,12 +11,18 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
 #include "host/controller_registry.hpp"
 #include "host/fleet.hpp"
 #include "sim/sharded_executor.hpp"
+#include "stats/histogram.hpp"
+#include "stats/table.hpp"
 #include "workload/app_profile.hpp"
 
 using namespace tmo;
@@ -132,6 +138,186 @@ TEST(FleetParallelTest, RunLeavesEveryShardAtTheDeadline)
     EXPECT_EQ(fleet.now(), 90 * sim::SEC);
     for (std::size_t i = 0; i < fleet.size(); ++i)
         EXPECT_EQ(fleet.simulationOf(i).now(), 90 * sim::SEC);
+}
+
+namespace
+{
+
+/** Everything hierarchical aggregation could disagree about. */
+struct AggregationDigest {
+    /** collect() vectors, restart counters, merged-histogram stats,
+     *  and metric-series sample values, flattened. */
+    std::vector<double> values;
+    /** metricSeries() names in order (host-prefixed). */
+    std::vector<std::string> seriesNames;
+
+    bool operator==(const AggregationDigest &) const = default;
+};
+
+/**
+ * Run a 72-host serving fleet — two fixed 64-host aggregation groups,
+ * so group pre-merge and the group-order combine are both exercised —
+ * through a crash-and-restart (host 3) and a crash-until-permanent
+ * failure (host 70), then digest every aggregation surface: collect()
+ * vectors, the merged request-latency histogram, and metricSeries().
+ */
+AggregationDigest
+aggregationDigest(unsigned jobs)
+{
+    host::Fleet fleet = host::FleetSpec{}
+                            .hosts(72)
+                            .epoch(30 * sim::SEC)
+                            .name_prefix("agg")
+                            .ram_mb(192)
+                            .page_kb(64)
+                            .cpus(8)
+                            .seed(2024)
+                            .backend(host::AnonMode::ZSWAP)
+                            .workload("feed", 128)
+                            .traffic("flat:rps=40")
+                            .controller("senpai")
+                            .build();
+    host::RestartPolicy policy;
+    policy.maxAttempts = 1;
+    policy.backoff = 30 * sim::SEC;
+    fleet.setRestartPolicy(policy);
+    fleet.enableMetrics(15 * sim::SEC);
+    fleet.start();
+
+    const auto armed = [&](std::size_t i, const std::string &plan) {
+        auto injector = std::make_unique<fault::FaultInjector>(
+            fleet.host(i), fault::FaultPlan::parseString(plan));
+        injector->arm();
+        return injector;
+    };
+    std::vector<std::unique_ptr<fault::FaultInjector>> injectors;
+    // Host 3 crashes once and rejoins; host 70 (second aggregation
+    // group) crashes, restarts, and crashes again past its budget of
+    // one attempt — permanently failed.
+    injectors.push_back(armed(3, "t=40 kind=host-crash\n"));
+    injectors.push_back(armed(70, "t=40 kind=host-crash\n"));
+    fleet.onHostRestart([&](std::size_t i, host::Host &machine) {
+        if (i != 70)
+            return;
+        fault::FaultPlan again;
+        again.events.push_back({fleet.now() + 10 * sim::SEC,
+                                fault::FaultKind::HOST_CRASH, 0.0});
+        injectors.push_back(std::make_unique<fault::FaultInjector>(
+            machine, std::move(again)));
+        injectors.back()->arm();
+    });
+
+    fleet.run(3 * sim::MINUTE, jobs);
+
+    AggregationDigest digest;
+    digest.values.push_back(
+        static_cast<double>(fleet.restartedCount()));
+    digest.values.push_back(static_cast<double>(fleet.failedCount()));
+    digest.values.push_back(
+        static_cast<double>(fleet.permanentlyFailedCount()));
+    const auto append = [&](const std::function<double(host::Host &)>
+                                &metric) {
+        for (double value : fleet.collect(metric))
+            digest.values.push_back(value);
+    };
+    append([](host::Host &h) {
+        return static_cast<double>(
+            h.apps().front()->cgroup().memCurrent());
+    });
+    append([](host::Host &h) {
+        return static_cast<double>(
+            h.apps().front()->cgroup().stats().pswpin);
+    });
+    append([](host::Host &h) {
+        return h.apps().front()->lastTick().completedRps;
+    });
+
+    const stats::Histogram merged = fleet.mergeHistograms(
+        [](host::Host &machine)
+            -> std::vector<const stats::Histogram *> {
+            std::vector<const stats::Histogram *> hists;
+            for (const auto &app : machine.apps())
+                if (app->servingRequests())
+                    hists.push_back(&app->requests().latencyUs);
+            return hists;
+        });
+    digest.values.push_back(static_cast<double>(merged.count()));
+    digest.values.push_back(merged.min());
+    digest.values.push_back(merged.max());
+    digest.values.push_back(merged.mean());
+    digest.values.push_back(merged.p50());
+    digest.values.push_back(merged.p99());
+    digest.values.push_back(merged.p999());
+
+    for (const auto &series : fleet.metricSeries()) {
+        digest.seriesNames.push_back(series.name());
+        digest.values.push_back(static_cast<double>(series.size()));
+        for (const auto &sample : series.samples())
+            digest.values.push_back(sample.value);
+    }
+    return digest;
+}
+
+} // namespace
+
+TEST(FleetAggregationTest, HierarchicalGatherBitIdenticalAcrossJobs)
+{
+    // The S4 property: shard-group pre-merged histograms, collect()
+    // vectors, and metric series are byte-identical to the flat
+    // serial gather for every job count, including a fleet where one
+    // host restarted and another failed permanently.
+    const AggregationDigest serial = aggregationDigest(1);
+    EXPECT_EQ(serial.values[0], 2.0) << "expected two rebuilds";
+    EXPECT_EQ(serial.values[1], 1.0) << "expected one failed host";
+    EXPECT_EQ(serial.values[2], 1.0)
+        << "expected one permanently failed host";
+    EXPECT_FALSE(serial.seriesNames.empty());
+    for (const unsigned jobs : {2u, 4u, 8u}) {
+        const AggregationDigest parallel = aggregationDigest(jobs);
+        EXPECT_EQ(serial, parallel) << "jobs " << jobs;
+    }
+}
+
+TEST(FleetAggregationTest, AllHostsFailedYieldsEmptyAggregates)
+{
+    // The S3 contract at the source: once every host is down,
+    // collect() is empty (consumers print "no data" instead of
+    // indexing values[0]) and the merged histogram has no samples.
+    host::Fleet fleet = host::FleetSpec{}
+                            .hosts(2)
+                            .epoch(30 * sim::SEC)
+                            .ram_mb(192)
+                            .page_kb(64)
+                            .seed(5)
+                            .workload("feed", 128)
+                            .traffic("flat:rps=20")
+                            .build();
+    fleet.start();
+    std::vector<std::unique_ptr<fault::FaultInjector>> injectors;
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+        auto injector = std::make_unique<fault::FaultInjector>(
+            fleet.host(i),
+            fault::FaultPlan::parseString("t=40 kind=host-crash\n"));
+        injector->arm();
+        injectors.push_back(std::move(injector));
+    }
+    fleet.run(2 * sim::MINUTE, 2);
+
+    ASSERT_EQ(fleet.failedCount(), fleet.size());
+    const auto values =
+        fleet.collect([](host::Host &) { return 1.0; });
+    EXPECT_TRUE(values.empty());
+    EXPECT_EQ(stats::fmtQuantile(values, 0.5, 2), "no data");
+    const stats::Histogram merged = fleet.mergeHistograms(
+        [](host::Host &machine)
+            -> std::vector<const stats::Histogram *> {
+            std::vector<const stats::Histogram *> hists;
+            for (const auto &app : machine.apps())
+                if (app->servingRequests())
+                    hists.push_back(&app->requests().latencyUs);
+            return hists;
+        });
+    EXPECT_EQ(merged.count(), 0u);
 }
 
 TEST(ShardedExecutorTest, RunsEveryIndexExactlyOnce)

@@ -172,7 +172,7 @@ TEST_F(MemoryManagerTest, FileEvictionSetsShadowAndRefaults)
     const auto idx = mm.newPage(*cg, false, true, 0);
     mm.reclaim(*cg, PAGE, sim::SEC);
     EXPECT_EQ(mm.pages()[idx].where, mem::Where::FS);
-    EXPECT_GT(mm.pages()[idx].shadowAge, 0u);
+    EXPECT_GT(mm.shadowAge(idx), 0u);
     EXPECT_EQ(cg->stats().pgfilesteal, 1u);
 
     // Immediate re-read: reuse distance 0 <= workingset -> refault,

@@ -248,6 +248,47 @@ TEST(QuantileTest, Interpolates)
     EXPECT_DOUBLE_EQ(stats::exactQuantile(v, 0.9), 9.0);
 }
 
+// Pin the edge conventions fleet reporting relies on: an empty value
+// set (every host failed) is 0.0 from exactQuantile but "no data"
+// from the formatting helpers; a 1-host fleet answers every q with
+// its single value; a 2-host fleet interpolates between closest
+// ranks.
+TEST(QuantileTest, EmptySetIsZeroNotOutOfBounds)
+{
+    const std::vector<double> empty;
+    EXPECT_DOUBLE_EQ(stats::exactQuantile(empty, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(stats::exactQuantile(empty, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(stats::exactQuantile(empty, 0.99), 0.0);
+    EXPECT_DOUBLE_EQ(stats::exactQuantile(empty, 1.0), 0.0);
+}
+
+TEST(QuantileTest, SingleHostAnswersEveryQuantileWithItself)
+{
+    const std::vector<double> one = {42.0};
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(stats::exactQuantile(one, q), 42.0);
+}
+
+TEST(QuantileTest, TwoHostConvention)
+{
+    const std::vector<double> two = {10.0, 30.0};
+    EXPECT_DOUBLE_EQ(stats::exactQuantile(two, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(stats::exactQuantile(two, 0.25), 15.0);
+    EXPECT_DOUBLE_EQ(stats::exactQuantile(two, 0.5), 20.0);
+    EXPECT_DOUBLE_EQ(stats::exactQuantile(two, 0.99), 29.8);
+    EXPECT_DOUBLE_EQ(stats::exactQuantile(two, 1.0), 30.0);
+}
+
+TEST(QuantileTest, FmtQuantileReportsNoDataWhenEmpty)
+{
+    const std::vector<double> empty;
+    EXPECT_EQ(stats::fmtQuantile(empty, 0.5, 2), "no data");
+    EXPECT_EQ(stats::fmtQuantilePercent(empty, 0.5, 1), "no data");
+    const std::vector<double> v = {1.0, 3.0};
+    EXPECT_EQ(stats::fmtQuantile(v, 0.5, 2), "2.00");
+    EXPECT_EQ(stats::fmtQuantilePercent(v, 0.0, 1), "100.0%");
+}
+
 TEST(TableTest, PrintsAlignedColumns)
 {
     stats::Table t("demo");

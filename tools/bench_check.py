@@ -20,7 +20,11 @@ more than ``tolerance`` relative to the baseline value:
 Metrics present in only one report are reported but never fatal (new
 benches may land before the baseline is refreshed); the deterministic
 "checks" section is compared for information only, since it is pinned
-by the unit-test suite, not by this gate.
+by the unit-test suite, not by this gate — with one exception: any
+check named ``*_equal`` is a self-verdict the current run computed
+about itself (e.g. ``fleet_scale_serial_parallel_equal``, the
+serial-vs-parallel aggregation bit-identity) and must be exactly 1.0
+in the CURRENT report, regardless of the baseline.
 """
 
 import argparse
@@ -106,6 +110,16 @@ def main():
             print(f"note: check {name!r} drifted: "
                   f"{base_checks[name]} -> {cur_checks[name]} "
                   f"(informational; pinned by the test suite)")
+    # *_equal checks are self-verdicts of the current run (bit-identity
+    # assertions it computed about itself); anything but exactly 1.0
+    # is a hard failure even when the baseline agrees.
+    for name in sorted(cur_checks):
+        if name.endswith("_equal") and cur_checks[name] != 1.0:
+            print(f"bench_check: check {name!r} is "
+                  f"{cur_checks[name]!r}, expected 1.0 — the current "
+                  f"run failed its own bit-identity assertion",
+                  file=sys.stderr)
+            failures.append(name)
 
     if failures:
         print(f"bench_check: {len(failures)} regression(s) beyond "

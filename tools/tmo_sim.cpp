@@ -88,6 +88,9 @@ struct Options {
     std::string app = "feed";
     std::uint64_t footprintMb = 1024;
     std::uint64_t ramMb = 2048;
+    /** Simulated page size; smaller pages scale the per-host page
+     *  count up without scaling footprint (fleet-scale smoke). */
+    std::uint64_t pageKb = 64;
     std::string backend = "zswap";
     /** Tier chain spec ("zswap:256mb+ssd"); empty = use backend. */
     std::string tiers;
@@ -128,7 +131,7 @@ usage()
 {
     std::cerr
         << "usage: tmo_sim [--app NAME] [--footprint-mb N] "
-           "[--ram-mb N]\n"
+           "[--ram-mb N] [--page-kb N]\n"
            "               [--tiers SPEC e.g. zswap:256mb+ssd]\n"
            "               [--backend none|ssd|zswap|nvm|cxl|tiered "
            "(deprecated; use --tiers)]\n"
@@ -194,6 +197,12 @@ parse(int argc, char **argv, Options &options)
             options.footprintMb = std::stoull(value);
         } else if (flag == "--ram-mb") {
             options.ramMb = std::stoull(value);
+        } else if (flag == "--page-kb") {
+            options.pageKb = std::stoull(value);
+            if (options.pageKb == 0) {
+                std::cerr << "tmo_sim: --page-kb must be >= 1\n";
+                return false;
+            }
         } else if (flag == "--backend") {
             // Validate now, not after the fleet is built: a typo must
             // fail fast with a named error.
@@ -444,18 +453,16 @@ printFleetMinute(host::Fleet &fleet, int minute, bool csv,
     std::uint64_t swapins = 0;
     for (std::size_t i = 0; i < fleet.size(); ++i)
         swapins += primaryApp(fleet.host(i)).cgroup().stats().pswpin;
-    std::cout << minute << ","
-              << stats::fmt(stats::exactQuantile(savings, 0.5), 2)
-              << ","
-              << stats::fmt(stats::exactQuantile(savings, 0.9), 2)
-              << ","
-              << stats::fmt(stats::exactQuantile(savings, 0.99), 2)
-              << "," << stats::fmt(stats::exactQuantile(rps, 0.5), 0)
-              << ","
-              << stats::fmt(stats::exactQuantile(pressure, 0.5), 4)
-              << ","
-              << stats::fmt(stats::exactQuantile(pressure, 0.9), 4)
-              << "," << swapins;
+    // fmtQuantile prints "no data" once every host has failed —
+    // collect() then returns an empty vector and indexing it (the old
+    // values[0]-style read) would be out of bounds.
+    std::cout << minute << "," << stats::fmtQuantile(savings, 0.5, 2)
+              << "," << stats::fmtQuantile(savings, 0.9, 2) << ","
+              << stats::fmtQuantile(savings, 0.99, 2) << ","
+              << stats::fmtQuantile(rps, 0.5, 0) << ","
+              << stats::fmtQuantile(pressure, 0.5, 4) << ","
+              << stats::fmtQuantile(pressure, 0.9, 4) << ","
+              << swapins;
     if (serving) {
         const auto lat = fleetLatency(fleet);
         std::cout << "," << stats::fmt(lat.p50(), 1) << ","
@@ -557,20 +564,21 @@ printFleetSummary(
     table.addRow({"controller", fleet.host(0).controller()
                                     ? fleet.host(0).controller()->name()
                                     : "none"});
-    table.addRow({"savings% P50",
-                  stats::fmt(stats::exactQuantile(savings, 0.5), 2)});
-    table.addRow({"savings% P90",
-                  stats::fmt(stats::exactQuantile(savings, 0.9), 2)});
-    table.addRow({"savings% P99",
-                  stats::fmt(stats::exactQuantile(savings, 0.99), 2)});
-    table.addRow({"mem PSI avg60% P50",
-                  stats::fmt(stats::exactQuantile(pressure, 0.5), 4)});
-    table.addRow({"mem PSI avg60% P90",
-                  stats::fmt(stats::exactQuantile(pressure, 0.9), 4)});
+    // collect() is empty once every host has failed; fmtQuantile and
+    // fmtQuantilePercent report "no data" instead of reading past the
+    // end of an empty value set.
     table.addRow(
-        {"rps retention P50",
-         stats::fmtPercent(stats::exactQuantile(rps_retention, 0.5),
-                           1)});
+        {"savings% P50", stats::fmtQuantile(savings, 0.5, 2)});
+    table.addRow(
+        {"savings% P90", stats::fmtQuantile(savings, 0.9, 2)});
+    table.addRow(
+        {"savings% P99", stats::fmtQuantile(savings, 0.99, 2)});
+    table.addRow({"mem PSI avg60% P50",
+                  stats::fmtQuantile(pressure, 0.5, 4)});
+    table.addRow({"mem PSI avg60% P90",
+                  stats::fmtQuantile(pressure, 0.9, 4)});
+    table.addRow({"rps retention P50",
+                  stats::fmtQuantilePercent(rps_retention, 0.5, 1)});
     table.addRow({"ssd bytes written", stats::fmtBytes(ssd_written)});
     table.addRow({"oom events", std::to_string(ooms)});
     const auto fleet_lat = fleetLatency(fleet);
@@ -585,12 +593,10 @@ printFleetSummary(
         const auto app_p99 = fleet.collect([](host::Host &machine) {
             return primaryApp(machine).requests().latencyUs.p99();
         });
-        table.addRow(
-            {"per-app p99 us P50",
-             stats::fmt(stats::exactQuantile(app_p99, 0.5), 1)});
-        table.addRow(
-            {"per-app p99 us P99",
-             stats::fmt(stats::exactQuantile(app_p99, 0.99), 1)});
+        table.addRow({"per-app p99 us P50",
+                      stats::fmtQuantile(app_p99, 0.5, 1)});
+        table.addRow({"per-app p99 us P99",
+                      stats::fmtQuantile(app_p99, 0.99, 1)});
     }
     table.addRow({"hosts failed", std::to_string(fleet.failedCount())});
     if (fleet.restartPolicy().maxAttempts > 0) {
@@ -622,11 +628,9 @@ printFleetSummary(
         table.addRow({"hosts degraded", std::to_string(degraded)});
         table.addRow({"faults injected", std::to_string(faults)});
         table.addRow({"degradation events P50",
-                      stats::fmt(stats::exactQuantile(events, 0.5),
-                                 0)});
+                      stats::fmtQuantile(events, 0.5, 0)});
         table.addRow({"degradation events P99",
-                      stats::fmt(stats::exactQuantile(events, 0.99),
-                                 0)});
+                      stats::fmtQuantile(events, 0.99, 0)});
     }
     table.print(std::cout);
 }
@@ -674,7 +678,7 @@ main(int argc, char **argv)
                        sim::SEC)
                 .name_prefix("cli")
                 .ram_mb(options.ramMb)
-                .page_kb(64)
+                .page_kb(options.pageKb)
                 .ssd_class(options.ssdClass)
                 .nvm_preset(wants_cxl ? "cxl-dram" : "optane")
                 .seed(options.seed)
